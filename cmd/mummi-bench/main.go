@@ -1,0 +1,174 @@
+// Command mummi-bench regenerates the paper's evaluation: every table and
+// figure of §5 plus the headline scaling claims. Experiments that replay
+// the campaign (Table 1, Figs 3–6, the §5.1 counts) share one virtual-time
+// replay; the systems experiments (Fig 7, Fig 8, the Flux fix, taridx,
+// feedback backends, selector scaling, the bundling ablation) run directly
+// against the real components.
+//
+// Usage:
+//
+//	mummi-bench -exp all                # everything, scaled-down campaign
+//	mummi-bench -exp fig6 -scale 1.0    # full 600,600-node-hour replay
+//	mummi-bench -exp fig7               # KV feedback query sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mummi/internal/campaign"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: table1|fig3|fig4|fig5|fig6|counts|fig7|fig8|fluxfix|taridx|feedback12x|ml165x|bundling|inventory|all")
+	scale := flag.Float64("scale", 0.25, "campaign scale factor (1.0 = full 600,600 node-hours)")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	full := flag.Bool("full", false, "run systems experiments at full paper scale (slower)")
+	flag.Parse()
+
+	if err := run(*exp, *scale, *seed, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, seed int64, full bool) error {
+	want := map[string]bool{}
+	for _, e := range strings.Split(exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	needCampaign := all || want["table1"] || want["fig3"] || want["fig4"] ||
+		want["fig5"] || want["fig6"] || want["counts"]
+	var res *campaign.Result
+	if needCampaign {
+		cfg := campaign.DefaultConfig()
+		cfg.Seed = seed
+		if scale < 1.0 {
+			cfg.Runs = campaign.ScaledRuns(scale)
+		}
+		start := time.Now()
+		fmt.Printf("== campaign replay (scale %.2f) ==\n", scale)
+		var err error
+		res, err = campaign.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %d runs, %v, in %v\n\n", res.RunsDone, res.TotalNodeHours,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	section := func(name, body string) {
+		fmt.Printf("== %s ==\n%s\n", name, body)
+	}
+
+	if all || want["table1"] {
+		section("Table 1: runs at different computational scales", res.Table1Text())
+	}
+	if all || want["fig3"] {
+		section("Figure 3: simulation length distributions", res.Fig3Text())
+	}
+	if all || want["fig4"] {
+		section("Figure 4: per-scale simulation performance", res.Fig4Text())
+	}
+	if all || want["fig5"] {
+		section("Figure 5: resource occupancy", res.Fig5Text())
+	}
+	if all || want["fig6"] {
+		section("Figure 6: job scheduling history", res.Fig6Text())
+	}
+	if all || want["counts"] {
+		section("§5.1 campaign counts", res.CountsText())
+	}
+
+	if all || want["fig7"] {
+		counts := []int{1000, 5000, 10000, 20000, 40000, 70000}
+		nodes := 8
+		if full {
+			nodes = 20 // the paper's Redis cluster size
+		}
+		rows, err := campaign.Fig7KVQueries(counts, nodes, 850)
+		if err != nil {
+			return err
+		}
+		section("Figure 7: in-memory DB feedback queries", campaign.Fig7Text(rows))
+	}
+	if all || want["fig8"] {
+		r := campaign.Fig8AAFeedback(2000, 6, 2*time.Second, seed)
+		section("Figure 8: AA-to-CG feedback latency", campaign.Fig8Text(r))
+	}
+	if all || want["fluxfix"] {
+		nodes, jobs := 1000, 6000
+		if full {
+			nodes, jobs = 4000, 24000
+		}
+		r, err := campaign.FluxFix670(nodes, jobs)
+		if err != nil {
+			return err
+		}
+		section("Flux fix: first-match vs exhaustive matching", campaign.FluxFixText(r))
+	}
+	if all || want["taridx"] {
+		files := 2000
+		if full {
+			files = 20000
+		}
+		dir, err := os.MkdirTemp("", "mummi-taridx")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r, err := campaign.TaridxThroughput(dir, files, 156_000)
+		if err != nil {
+			return err
+		}
+		section("§5.2 taridx throughput", campaign.TaridxText(r))
+	}
+	if all || want["feedback12x"] {
+		frames := 5000
+		if full {
+			frames = 20000
+		}
+		dir, err := os.MkdirTemp("", "mummi-fb")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r, err := campaign.Feedback12x(dir, frames)
+		if err != nil {
+			return err
+		}
+		section("§4.2 feedback backends (the >12x claim)", campaign.FeedbackText(r))
+	}
+	if all || want["ml165x"] {
+		fpsQ, binned := 35000, 1_000_000
+		if full {
+			binned = 9_000_000 // the campaign's 9M frame candidates
+		}
+		r, err := campaign.SelectorScaling(fpsQ, binned, seed)
+		if err != nil {
+			return err
+		}
+		section("§4.4 selector scaling (the 165x claim)", campaign.SelectorText(r))
+	}
+	if all || want["bundling"] {
+		r, err := campaign.BundlingAblation(16, 4, seed)
+		if err != nil {
+			return err
+		}
+		section("§4.3 bundling ablation", campaign.BundlingText(r))
+	}
+	if all || want["inventory"] {
+		rows, err := campaign.InventoryAblation([]float64{0.02, 0.1, 0.25, 0.5, 1.0}, seed)
+		if err != nil {
+			return err
+		}
+		section("§4.4 inventory ablation (readiness vs staleness)", campaign.InventoryText(rows))
+	}
+	return nil
+}

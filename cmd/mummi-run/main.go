@@ -1,0 +1,92 @@
+// Command mummi-run replays a MuMMI campaign from a JSON configuration and
+// prints the full evaluation report. With no -config it runs the paper's
+// Table 1 schedule at the given -scale.
+//
+// Example configuration:
+//
+//	{
+//	  "seed": 7,
+//	  "runs": [
+//	    {"nodes": 100, "wall": "6h", "count": 5},
+//	    {"nodes": 1000, "wall": "24h", "count": 20}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mummi/internal/campaign"
+)
+
+// fileConfig is the JSON shape of -config (durations as strings).
+type fileConfig struct {
+	Seed int64 `json:"seed"`
+	Runs []struct {
+		Nodes int    `json:"nodes"`
+		Wall  string `json:"wall"`
+		Count int    `json:"count"`
+	} `json:"runs"`
+	CGShare                 float64 `json:"cg_share,omitempty"`
+	PatchesPerSnapshot      int     `json:"patches_per_snapshot,omitempty"`
+	FrameCandidateSubsample float64 `json:"frame_candidate_subsample,omitempty"`
+}
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON campaign configuration (empty = paper schedule)")
+	scale := flag.Float64("scale", 0.25, "paper-schedule scale when no -config is given")
+	seed := flag.Int64("seed", 1, "seed when no -config is given")
+	flag.Parse()
+
+	cfg := campaign.DefaultConfig()
+	cfg.Seed = *seed
+	if *cfgPath != "" {
+		b, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		var fc fileConfig
+		if err := json.Unmarshal(b, &fc); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *cfgPath, err))
+		}
+		cfg.Seed = fc.Seed
+		cfg.Runs = nil
+		for _, r := range fc.Runs {
+			d, err := time.ParseDuration(r.Wall)
+			if err != nil {
+				fatal(fmt.Errorf("run wall %q: %w", r.Wall, err))
+			}
+			cfg.Runs = append(cfg.Runs, campaign.RunSpec{Nodes: r.Nodes, Wall: d, Count: r.Count})
+		}
+		if fc.CGShare > 0 {
+			cfg.CGShare = fc.CGShare
+		}
+		if fc.PatchesPerSnapshot > 0 {
+			cfg.PatchesPerSnapshot = fc.PatchesPerSnapshot
+		}
+		if fc.FrameCandidateSubsample > 0 {
+			cfg.FrameCandidateSubsample = fc.FrameCandidateSubsample
+		}
+	} else if *scale < 1.0 {
+		cfg.Runs = campaign.ScaledRuns(*scale)
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign replayed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Table1Text())
+	fmt.Println(res.CountsText())
+	fmt.Println(res.Fig5Text())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mummi-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,281 @@
+// Command mummi-sim runs individual application components as a file-based
+// pipeline — the paper deploys MuMMI "not only within large HPC
+// environments but also on standard laptop computers (for testing and use
+// of individual components)" (§4.5). Each subcommand reads and writes real
+// files, so stages can be chained, inspected, and swapped:
+//
+//	mummi-sim continuum -grid 120 -proteins 30 -us 5 -out snap.gs2d
+//	mummi-sim patches   -in snap.gs2d -outdir patches/
+//	mummi-sim select    -indir patches/ -n 8
+//	mummi-sim cg        -id sim01 -frames 50 -outdir frames/
+//	mummi-sim feedback  -indir frames/ -species 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mummi/internal/continuum"
+	"mummi/internal/datastore"
+	"mummi/internal/dynim"
+	"mummi/internal/feedback"
+	"mummi/internal/fsstore"
+	"mummi/internal/mlenc"
+	"mummi/internal/patch"
+	"mummi/internal/sim"
+	"mummi/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal(fmt.Errorf("usage: mummi-sim continuum|patches|select|cg|feedback [flags]"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "continuum":
+		err = runContinuum(os.Args[2:])
+	case "patches":
+		err = runPatches(os.Args[2:])
+	case "select":
+		err = runSelect(os.Args[2:])
+	case "cg":
+		err = runCG(os.Args[2:])
+	case "feedback":
+		err = runFeedback(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown component %q", os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mummi-sim:", err)
+	os.Exit(1)
+}
+
+// runContinuum evolves the macro model and writes a snapshot file.
+func runContinuum(args []string) error {
+	fs := flag.NewFlagSet("continuum", flag.ExitOnError)
+	grid := fs.Int("grid", 120, "grid resolution per side (paper: 2400)")
+	proteins := fs.Int("proteins", 30, "protein count")
+	us := fs.Float64("us", 2, "simulated time to advance (µs)")
+	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallel stripes (0 = all cores)")
+	out := fs.String("out", "snapshot.gs2d", "output snapshot file")
+	fs.Parse(args)
+
+	cfg := continuum.DefaultConfig()
+	cfg.GridN = *grid
+	cfg.Proteins = *proteins
+	cfg.Seed = *seed
+	s, err := continuum.NewParallel(cfg, *workers)
+	if err != nil {
+		return err
+	}
+	s.Step(units.SimTimeOf(*us, units.Microsecond))
+	snap := s.Snapshot()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := snap.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("continuum: advanced %v on %d workers; snapshot %s (%s, %d species, %d proteins)\n",
+		s.Time(), s.Workers(), *out, units.ByteSize(n), len(snap.Fields), len(snap.Protein))
+	return nil
+}
+
+// runPatches cuts patches from a snapshot file into a directory.
+func runPatches(args []string) error {
+	fs := flag.NewFlagSet("patches", flag.ExitOnError)
+	in := fs.String("in", "snapshot.gs2d", "input snapshot")
+	outdir := fs.String("outdir", "patches", "output directory")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	snap, err := continuum.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	ps, err := patch.CreateAll(snap, patch.DefaultSize, patch.DefaultGridN)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	var bytes int
+	for _, p := range ps {
+		b, err := p.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outdir, p.ID+".npy"), b, 0o644); err != nil {
+			return err
+		}
+		bytes += len(b)
+	}
+	fmt.Printf("patches: %d patches (%s) from %s into %s/\n",
+		len(ps), units.ByteSize(bytes), *in, *outdir)
+	return nil
+}
+
+// runSelect encodes every patch in a directory and farthest-point-selects n.
+func runSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	indir := fs.String("indir", "patches", "patch directory")
+	n := fs.Int("n", 5, "selections to make")
+	seed := fs.Int64("seed", 7, "encoder seed")
+	fs.Parse(args)
+
+	ents, err := os.ReadDir(*indir)
+	if err != nil {
+		return err
+	}
+	var enc *mlenc.PatchEncoder
+	sel := dynim.NewFarthestPoint(9, 0)
+	loaded := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".npy") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(*indir, e.Name()))
+		if err != nil {
+			return err
+		}
+		p, err := patch.Unmarshal(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if enc == nil {
+			enc, err = mlenc.NewPatchEncoder(len(p.Fields), p.GridN, 9, *seed)
+			if err != nil {
+				return err
+			}
+		}
+		coords, err := enc.Encode(p)
+		if err != nil {
+			return err
+		}
+		if err := sel.Add(dynim.Point{ID: p.ID, Coords: coords}); err != nil {
+			return err
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		return fmt.Errorf("no patches in %s", *indir)
+	}
+	chosen := sel.Select(*n)
+	fmt.Printf("select: %d candidates, %d selected by novelty:\n", loaded, len(chosen))
+	for _, p := range chosen {
+		fmt.Printf("  %s\n", p.ID)
+	}
+	return nil
+}
+
+// runCG generates a CG analysis stream into a directory of frame files.
+func runCG(args []string) error {
+	fs := flag.NewFlagSet("cg", flag.ExitOnError)
+	id := fs.String("id", "sim01", "simulation id")
+	frames := fs.Int("frames", 50, "frames to produce")
+	species := fs.Int("species", 14, "lipid species count")
+	state := fs.Int("state", 1, "protein configuration state")
+	seed := fs.Int64("seed", 3, "seed")
+	outdir := fs.String("outdir", "frames", "output directory")
+	fs.Parse(args)
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	g := sim.NewCGSim(*id, *species, *state, nil, *seed)
+	for i := 0; i < *frames; i++ {
+		fr := g.NextFrame()
+		b, err := fr.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outdir, fr.ID()+".json"), b, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("cg: %s produced %d frames (%v of trajectory) into %s/\n",
+		*id, g.Frames(), g.SimTime(), *outdir)
+	return nil
+}
+
+// runFeedback aggregates a directory of CG frames into coupling parameters.
+func runFeedback(args []string) error {
+	fs := flag.NewFlagSet("feedback", flag.ExitOnError)
+	indir := fs.String("indir", "frames", "frame directory")
+	species := fs.Int("species", 14, "lipid species count")
+	states := fs.Int("states", continuum.NumProteinStates, "protein states")
+	fs.Parse(args)
+
+	// Stage the directory into a filesystem store namespace, then run one
+	// real feedback iteration over it.
+	dir, err := os.MkdirTemp("", "mummi-fb")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := fsstore.New(dir)
+	if err != nil {
+		return err
+	}
+	var _ datastore.Store = store
+	ents, err := os.ReadDir(*indir)
+	if err != nil {
+		return err
+	}
+	staged := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(*indir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := store.Put("new", strings.TrimSuffix(e.Name(), ".json"), b); err != nil {
+			return err
+		}
+		staged++
+	}
+	var got [][]float64
+	fb, err := feedback.NewCGToContinuum(feedback.CGConfig{
+		Store: store, NewNS: "new", DoneNS: "done",
+		Species: *species, States: *states,
+		Apply: func(c [][]float64) error { got = c; return nil },
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := fb.Iterate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feedback: %d/%d frames aggregated in %v\n", rep.Frames, staged, rep.Total())
+	if got != nil {
+		fmt.Println("couplings (state x species):")
+		for st, row := range got {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = fmt.Sprintf("%.3f", v)
+			}
+			fmt.Printf("  state %d: %s\n", st, strings.Join(cells, " "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module mummi
+
+go 1.22

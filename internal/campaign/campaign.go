@@ -1,0 +1,644 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mummi/internal/cluster"
+	"mummi/internal/core"
+	"mummi/internal/dynim"
+	"mummi/internal/maestro"
+	"mummi/internal/profile"
+	"mummi/internal/sched"
+	"mummi/internal/sim"
+	"mummi/internal/units"
+	"mummi/internal/vclock"
+)
+
+// Epoch is when the paper's campaign began (Dec 2020).
+var Epoch = time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+
+type simKind int
+
+const (
+	kindCG simKind = iota
+	kindAA
+)
+
+// simRecord tracks one simulation across allocations (the paper's
+// checkpoint/restart continuity).
+type simRecord struct {
+	kind     simKind
+	target   units.SimTime
+	progress units.SimTime
+	// candMark is the progress up to which AA-candidate frames have been
+	// accounted.
+	candMark units.SimTime
+	rate     units.Rate
+	size     int
+	// base seeds this simulation's conformational region (frame-candidate
+	// coordinates cluster around it).
+	base [3]float64
+	done bool
+}
+
+// Campaign is the replay engine. Create with NewCampaign, drive with Run.
+type Campaign struct {
+	cfg Config
+	clk *vclock.Virtual
+	rng *rand.Rand
+
+	patchSel dynim.Selector
+	queueSet *dynim.QueueSet
+	frameSel *dynim.Binned
+
+	recs    map[string]*simRecord
+	walks   [][]float64 // per-protein 9-D encodings, random-walking
+	nextCG  int
+	nextAA  int
+	candAcc float64 // fractional AA-candidate accumulator
+	subAcc  float64 // fractional subsample accumulator
+
+	totalWall   time.Duration
+	elapsedWall time.Duration
+
+	res *Result
+
+	// per-run state
+	active map[sched.JobID]activeJob
+}
+
+type activeJob struct {
+	simID string
+	rate  units.Rate
+	start time.Time
+}
+
+// NewCampaign builds the engine.
+func NewCampaign(cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Runs) == 0 {
+		return nil, fmt.Errorf("campaign: no runs configured")
+	}
+	c := &Campaign{
+		cfg:  cfg,
+		clk:  vclock.NewVirtual(Epoch),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		recs: make(map[string]*simRecord),
+		res:  newResult(),
+	}
+	for _, r := range cfg.Runs {
+		c.totalWall += time.Duration(r.Count) * r.Wall
+	}
+	c.queueSet = dynim.NewQueueSet(9, cfg.PatchQueueCap)
+	c.queueSet.DisableJournal()
+	c.patchSel = c.queueSet.AsSelector(func(p dynim.Point) string {
+		// Five queues by protein configuration, as in the paper; route on a
+		// stable hash of the candidate id.
+		h := uint32(2166136261)
+		for i := 0; i < len(p.ID); i++ {
+			h = (h ^ uint32(p.ID[i])) * 16777619
+		}
+		return patchQueues[h%uint32(len(patchQueues))]
+	})
+	dims := make([]dynim.BinDim, 3)
+	for i := range dims {
+		dims[i] = dynim.BinDim{Lo: 0, Hi: 1, Bins: cfg.FrameBins}
+	}
+	fs, err := dynim.NewBinned(dims, 0.8, cfg.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	fs.DisableJournal()
+	fs.SetTrackDuplicates(false)
+	c.frameSel = fs
+	// 9-D protein walks seed patch encodings.
+	c.walks = make([][]float64, cfg.PatchesPerSnapshot)
+	for i := range c.walks {
+		w := make([]float64, 9)
+		for j := range w {
+			w[j] = c.rng.NormFloat64()
+		}
+		c.walks[i] = w
+	}
+	return c, nil
+}
+
+var patchQueues = []string{"ras-a", "ras-b", "ras-raf-a", "ras-raf-b", "ras-multi"}
+
+// Run replays the whole campaign and returns the collected results.
+func Run(cfg Config) (*Result, error) {
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
+
+// Run executes every allocation in sequence.
+func (c *Campaign) Run() (*Result, error) {
+	var ckpt []byte
+	kept1000, kept4000 := false, false
+	for _, spec := range c.cfg.Runs {
+		for i := 0; i < spec.Count; i++ {
+			keep := c.cfg.KeepTimelines &&
+				((spec.Nodes >= 1000 && spec.Nodes < 4000 && !kept1000) || (spec.Nodes >= 4000 && !kept4000))
+			tl, err := c.runOne(spec, &ckpt, keep)
+			if err != nil {
+				return nil, err
+			}
+			if keep && tl != nil {
+				if spec.Nodes >= 4000 {
+					c.res.Timeline4000 = tl
+					kept4000 = true
+				} else {
+					c.res.Timeline1000 = tl
+					kept1000 = true
+				}
+			}
+			c.res.Table1 = append(c.res.Table1, RunLedger{
+				Nodes: spec.Nodes, Wall: spec.Wall,
+				NodeHours: units.NodeHoursFor(spec.Nodes, spec.Wall),
+			})
+			c.elapsedWall += spec.Wall
+		}
+	}
+	c.finalizeResult()
+	return c.res, nil
+}
+
+// mpiBugActive reports whether the campaign is still in the miscompiled-MPI
+// era.
+func (c *Campaign) mpiBugActive() bool {
+	return float64(c.elapsedWall) < c.cfg.MPIBugFraction*float64(c.totalWall)
+}
+
+// continuumNodes sizes the continuum allocation for a run (150 nodes when
+// the machine affords it, scaled down on small runs — the source of
+// Fig. 4's continuum performance modes).
+func continuumNodes(nodes int) int {
+	n := nodes / 2
+	if n > 150 {
+		n = 150
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runOne executes a single allocation. ckpt carries WM state across runs.
+func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]TimelinePoint, error) {
+	machine, err := cluster.New(cluster.Summit(spec.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	statusPoll := time.Duration(0)
+	if c.cfg.ModelStatusLoad {
+		statusPoll = c.cfg.ProfileEvery
+	}
+	s, err := sched.New(c.clk, sched.Config{
+		Machine: machine, Policy: c.cfg.SchedPolicy, Mode: c.cfg.SchedMode,
+		Costs: c.cfg.SchedCosts, StatusPollEvery: statusPoll,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cond, err := maestro.NewConductor(c.clk, maestro.FluxBackend{S: s}, c.cfg.SubmitPerMinute)
+	if err != nil {
+		return nil, err
+	}
+
+	totalGPUs := machine.Topology().TotalGPUs()
+	cgSlots := int(float64(totalGPUs) * c.cfg.CGShare)
+	aaSlots := totalGPUs - cgSlots
+	if aaSlots < 1 {
+		aaSlots = 1
+	}
+	c.active = make(map[sched.JobID]activeJob)
+
+	contNodes := continuumNodes(spec.Nodes)
+	contRate := sim.ContinuumPerf(contNodes * 24)
+
+	wm, err := core.New(core.Config{
+		Clock:     c.clk,
+		Conductor: cond,
+		PollEvery: c.cfg.PollEvery,
+		Seed:      c.cfg.Seed + int64(c.res.RunsDone),
+		StaticJobs: []sched.Request{
+			{Name: "continuum", NodeCount: contNodes, Cores: 24},
+		},
+		Couplings: []core.CouplingSpec{
+			// Setup jobs take 24 of a node's 44 cores, so at most one fits
+			// per node: cap the combined ready-buffer targets at the node
+			// count or queued setups head-of-line-block simulations
+			// (FCFS without backfilling).
+			c.cgCoupling(cgSlots, max(2, spec.Nodes*2/3)),
+			c.aaCoupling(aaSlots, max(1, spec.Nodes/3)),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *ckpt != nil {
+		if err := wm.RestoreState(*ckpt); err != nil {
+			return nil, err
+		}
+	}
+
+	prof := profile.New(c.clk, c.cfg.ProfileEvery, func() profile.Event {
+		q, running, _ := s.Counts()
+		return profile.Event{
+			GPUFrac: machine.GPUOccupancy(),
+			CPUFrac: machine.CPUOccupancy(),
+			Running: running, Pending: q,
+		}
+	})
+
+	// Continuum snapshot stream: one snapshot per µs of continuum time.
+	runEnd := c.clk.Now().Add(spec.Wall)
+	snapshotsActive := true
+	var scheduleSnapshot func()
+	scheduleSnapshot = func() {
+		wall := contRate.WallFor(1 * units.Microsecond)
+		c.clk.After(wall, func() {
+			if !snapshotsActive || c.clk.Now().After(runEnd) {
+				return
+			}
+			c.onSnapshot(wm, contNodes)
+			scheduleSnapshot()
+		})
+	}
+	scheduleSnapshot()
+
+	// Failure injection: every half hour, fail the expected share of
+	// running simulation jobs. Progress up to the failure survives (the
+	// simulation checkpoints), so the resubmitted job resumes — the
+	// paper's resilience path, exercised continuously.
+	var failTicker *vclock.Ticker
+	if c.cfg.FailuresPerDay > 0 {
+		perTick := c.cfg.FailuresPerDay / 48
+		failTicker = vclock.NewTicker(c.clk, 30*time.Minute, func(time.Time) {
+			if c.rng.Float64() >= perTick {
+				return
+			}
+			victim := c.pickActiveJob()
+			if victim == 0 {
+				return
+			}
+			aj := c.active[victim]
+			// Bank the progress made so far, then kill the job.
+			c.settle(aj.simID, aj.rate.SimFor(c.clk.Now().Sub(aj.start)), false)
+			if rec := c.recs[aj.simID]; rec != nil {
+				rec.candMark = rec.progress // avoid double-counting later
+			}
+			delete(c.active, victim)
+			c.res.InjectedFailures++
+			_ = s.Fail(victim)
+		})
+	}
+
+	if err := wm.Start(); err != nil {
+		return nil, err
+	}
+	start := c.clk.Now()
+	c.clk.RunUntil(runEnd)
+	if failTicker != nil {
+		failTicker.Stop()
+	}
+
+	// Allocation over: stop producers, flush the conductor (queued
+	// submissions fail back into WM state), settle running simulations,
+	// and checkpoint.
+	snapshotsActive = false
+	wm.Stop()
+	prof.Stop()
+	cond.Close()
+	s.Close()
+	ids := make([]sched.JobID, 0, len(c.active))
+	for id := range c.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		aj := c.active[id]
+		job, ok := s.Job(id)
+		if !ok || job.State != sched.Running {
+			continue
+		}
+		c.settle(aj.simID, aj.rate.SimFor(c.clk.Now().Sub(aj.start)), false)
+	}
+	c.active = nil
+	b, err := wm.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	*ckpt = b
+
+	// Merge profiling and stats.
+	for _, ev := range prof.Events() {
+		c.res.ProfileEvents = append(c.res.ProfileEvents, ev)
+	}
+	c.res.RunsDone++
+	c.res.TotalNodeHours += units.NodeHoursFor(spec.Nodes, spec.Wall)
+
+	if keepTimeline {
+		var tl []TimelinePoint
+		for _, p := range s.Timeline() {
+			tl = append(tl, TimelinePoint{Offset: p.Time.Sub(start), Job: int64(p.Job)})
+		}
+		return tl, nil
+	}
+	return nil, nil
+}
+
+// onSnapshot models Task 1 for one continuum snapshot: advance the protein
+// encodings, cut patches, offer them to the patch selector, and account the
+// data products.
+func (c *Campaign) onSnapshot(wm *core.Workflow, contNodes int) {
+	c.res.Snapshots++
+	c.res.ContinuumTotal += 1 * units.Microsecond
+	perf := sim.ContinuumPerf(contNodes*24).SimFor(24*time.Hour).Milliseconds() *
+		(1 + 0.01*c.rng.NormFloat64())
+	c.res.ContinuumPerf = append(c.res.ContinuumPerf, perf)
+
+	c.res.Files += 1 // snapshot file
+	c.res.Bytes += int64(continuumSnapshotBytes)
+
+	for i := 0; i < c.cfg.PatchesPerSnapshot; i++ {
+		// Protein walk: slow drift in 9-D encoding space.
+		w := c.walks[i%len(c.walks)]
+		for j := range w {
+			w[j] += c.rng.NormFloat64() * 0.05
+		}
+		coords := make([]float64, 9)
+		for j := range coords {
+			coords[j] = w[j] + c.rng.NormFloat64()*0.02
+		}
+		// Stabilize queue routing on the protein index, encoded in coord 0
+		// fraction (see route function): simply use index-based id.
+		id := fmt.Sprintf("p%07d_%03d", c.res.Snapshots, i)
+		c.res.Patches++
+		c.res.Files++
+		c.res.Bytes += 70_000
+		if err := wm.AddCandidate("continuum-to-cg", dynim.Point{ID: id, Coords: coords}); err != nil {
+			// Selector shape errors are programming bugs; surface loudly.
+			panic(err)
+		}
+	}
+}
+
+const continuumSnapshotBytes = 374_000_000
+
+// cgCoupling builds the continuum→CG coupling for one run.
+func (c *Campaign) cgCoupling(slots, setupCap int) core.CouplingSpec {
+	return core.CouplingSpec{
+		Name:     "continuum-to-cg",
+		Selector: c.patchSel,
+		SetupReq: sched.Request{Name: "createsim", Cores: sim.CreatesimCores},
+		SetupDuration: func(rng *rand.Rand) time.Duration {
+			return sim.SetupDuration(rng, sim.CreatesimDuration)
+		},
+		SimReq: sched.Request{Name: "cg-sim", Cores: 3, GPUs: 1},
+		SimDuration: func(rng *rand.Rand, p dynim.Point) time.Duration {
+			rec := c.record("cg:"+p.ID, kindCG, rng)
+			remaining := rec.target - rec.progress
+			if remaining <= 0 {
+				return time.Minute
+			}
+			return rec.rate.WallFor(remaining)
+		},
+		MaxSims:     slots,
+		ReadyTarget: c.readyTarget(slots),
+		MaxSetups:   setupCap,
+		OnSimStart:  func(p dynim.Point, id sched.JobID) { c.onSimStart("cg:"+p.ID, id) },
+		OnSimEnd:    func(p dynim.Point, id sched.JobID, st sched.State) { c.onSimEnd("cg:"+p.ID, id, st) },
+	}
+}
+
+// aaCoupling builds the CG→AA coupling for one run.
+func (c *Campaign) aaCoupling(slots, setupCap int) core.CouplingSpec {
+	return core.CouplingSpec{
+		Name:     "cg-to-aa",
+		Selector: c.frameSel,
+		SetupReq: sched.Request{Name: "backmap", Cores: sim.BackmapCores},
+		SetupDuration: func(rng *rand.Rand) time.Duration {
+			return sim.SetupDuration(rng, sim.BackmapDuration)
+		},
+		SimReq: sched.Request{Name: "aa-sim", Cores: 3, GPUs: 1},
+		SimDuration: func(rng *rand.Rand, p dynim.Point) time.Duration {
+			rec := c.record("aa:"+p.ID, kindAA, rng)
+			remaining := rec.target - rec.progress
+			if remaining <= 0 {
+				return time.Minute
+			}
+			return rec.rate.WallFor(remaining)
+		},
+		MaxSims:     slots,
+		ReadyTarget: c.readyTarget(slots),
+		MaxSetups:   setupCap,
+		OnSimStart:  func(p dynim.Point, id sched.JobID) { c.onSimStart("aa:"+p.ID, id) },
+		OnSimEnd:    func(p dynim.Point, id sched.JobID, st sched.State) { c.onSimEnd("aa:"+p.ID, id, st) },
+	}
+}
+
+// readyTarget sizes the prepared-configuration inventory, which persists
+// across allocations via the WM checkpoint. Half a machine's worth of
+// prepared simulations lets a fresh allocation load at the submission
+// throttle (~100 jobs/min — the paper's 1-hour 1000-node load) instead of
+// waiting on 1.5–2 h setup jobs, while keeping staleness and CPU burn
+// bounded; the separate MaxSetups cap governs concurrent setup jobs.
+func (c *Campaign) readyTarget(slots int) int {
+	t := int(float64(slots) * c.cfg.InventoryFraction)
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// record returns (creating on first use) the persistent record of one
+// simulation.
+func (c *Campaign) record(simID string, kind simKind, rng *rand.Rand) *simRecord {
+	if rec, ok := c.recs[simID]; ok {
+		return rec
+	}
+	rec := &simRecord{kind: kind}
+	switch kind {
+	case kindCG:
+		rec.size = sim.CGParticles(rng)
+		rec.rate = sim.CGPerf{MPIBugEra: c.mpiBugActive()}.Sample(rng, rec.size)
+		// Retirement hazard capped at the 5 µs maximum (see package doc).
+		rec.target = minSimTime(sim.CGMaxLength,
+			units.SimTime(rng.ExpFloat64()*float64(c.cfg.RetireMeanCG)))
+		if rec.target < 100*units.Nanosecond {
+			rec.target = 100 * units.Nanosecond
+		}
+		c.res.CGSelected++
+		c.res.CGPerf = append(c.res.CGPerf,
+			PerfSample{Size: rec.size, PerDay: rec.rate.SimFor(24 * time.Hour).Microseconds()})
+	case kindAA:
+		rec.size = sim.AAAtoms(rng)
+		rec.rate = sim.AAPerf{}.Sample(rng, rec.size)
+		span := float64(sim.AAMaxLength - sim.AAMinLength)
+		uniform := sim.AAMinLength + units.SimTime(rng.Float64()*span)
+		rec.target = minSimTime(uniform,
+			units.SimTime(rng.ExpFloat64()*float64(c.cfg.RetireMeanAA)))
+		if rec.target < units.Nanosecond {
+			rec.target = units.Nanosecond
+		}
+		c.res.AASelected++
+		c.res.AAPerf = append(c.res.AAPerf,
+			PerfSample{Size: rec.size, PerDay: rec.rate.SimFor(24 * time.Hour).Nanoseconds()})
+	}
+	for i := range rec.base {
+		rec.base[i] = c.rng.Float64()
+	}
+	c.recs[simID] = rec
+	return rec
+}
+
+func (c *Campaign) onSimStart(simID string, id sched.JobID) {
+	rec := c.recs[simID]
+	if rec == nil {
+		return
+	}
+	c.active[id] = activeJob{simID: simID, rate: rec.rate, start: c.clk.Now()}
+}
+
+func (c *Campaign) onSimEnd(simID string, id sched.JobID, st sched.State) {
+	delete(c.active, id)
+	rec := c.recs[simID]
+	if rec == nil {
+		return
+	}
+	if st == sched.Completed {
+		// The job ran its full sampled wall time: the simulation reached
+		// its target.
+		c.settle(simID, rec.target-rec.progress, true)
+	}
+	// Failed jobs resume from current progress via WM resubmission.
+}
+
+// settle advances a simulation's progress and accounts its data products
+// and AA candidates; final marks the simulation finished.
+func (c *Campaign) settle(simID string, delta units.SimTime, final bool) {
+	rec := c.recs[simID]
+	if rec == nil || rec.done {
+		return
+	}
+	if delta < 0 {
+		delta = 0
+	}
+	rec.progress += delta
+	if rec.progress > rec.target {
+		rec.progress = rec.target
+	}
+	switch rec.kind {
+	case kindCG:
+		c.accountCG(simID, rec)
+	case kindAA:
+		framesDelta := int64(float64(delta) / float64(100*units.Picosecond))
+		c.res.Files += 1 * framesDelta // trajectory frames
+		c.res.Bytes += framesDelta * int64(sim.AAFrameBytes)
+	}
+	if final || rec.progress >= rec.target {
+		rec.done = true
+		switch rec.kind {
+		case kindCG:
+			c.res.CGLengthsUs = append(c.res.CGLengthsUs, rec.progress.Microseconds())
+			c.res.CGTotal += rec.progress
+		case kindAA:
+			c.res.AALengthsNs = append(c.res.AALengthsNs, rec.progress.Nanoseconds())
+			c.res.AATotal += rec.progress
+		}
+	}
+}
+
+// accountCG converts new CG trajectory into frame counts, data volume, and
+// AA candidates at the published densities.
+func (c *Campaign) accountCG(simID string, rec *simRecord) {
+	newSim := rec.progress - rec.candMark
+	if newSim <= 0 {
+		return
+	}
+	rec.candMark = rec.progress
+	us := newSim.Microseconds()
+	frames := int64(us / 0.0005) // one analyzed frame per 0.5 ns
+	c.res.CGFrames += frames
+	c.res.Files += frames * 3 // trajectory + analysis + RDF records
+	c.res.Bytes += frames * int64(sim.CGFrameBytes+sim.CGAnalysisBytes)
+
+	c.candAcc += us * c.cfg.FrameCandidatesPerUs
+	n := int(c.candAcc)
+	c.candAcc -= float64(n)
+	c.res.CGFrameCandidates += int64(n)
+	c.res.Files += int64(n) // identifying-info records
+	c.res.Bytes += int64(n) * int64(sim.CGFrameIdentBytes)
+	for i := 0; i < n; i++ {
+		// Subsample what actually enters the selector; accounting above is
+		// full-rate (see Config.FrameCandidateSubsample).
+		c.subAcc += c.cfg.FrameCandidateSubsample
+		if c.subAcc < 1 {
+			continue
+		}
+		c.subAcc--
+		coords := []float64{
+			clamp01(rec.base[0] + c.rng.NormFloat64()*0.08),
+			clamp01(rec.base[1] + c.rng.NormFloat64()*0.08),
+			clamp01(rec.base[2] + c.rng.NormFloat64()*0.08),
+		}
+		id := fmt.Sprintf("%s_c%06d", simID, c.res.CGFrameCandidates-int64(n)+int64(i))
+		if err := c.frameSel.Add(dynim.Point{ID: id, Coords: coords}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+// pickActiveJob deterministically samples one running simulation job id
+// (0 when none are active).
+func (c *Campaign) pickActiveJob() sched.JobID {
+	if len(c.active) == 0 {
+		return 0
+	}
+	ids := make([]sched.JobID, 0, len(c.active))
+	for id := range c.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[c.rng.Intn(len(ids))]
+}
+
+func minSimTime(a, b units.SimTime) units.SimTime {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// finalizeResult settles simulations that never completed (still queued as
+// records at campaign end) and derives summary statistics.
+func (c *Campaign) finalizeResult() {
+	simIDs := make([]string, 0, len(c.recs))
+	for simID := range c.recs {
+		simIDs = append(simIDs, simID)
+	}
+	sort.Strings(simIDs) // determinism: fractional accumulators are order-sensitive
+	for _, simID := range simIDs {
+		if rec := c.recs[simID]; !rec.done && rec.progress > 0 {
+			c.settle(simID, 0, true)
+		}
+	}
+	c.res.finalize()
+}

@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig7KVQueries(t *testing.T) {
+	rows, err := Fig7KVQueries([]int{100, 500, 2000}, 4, 850)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape claims: time grows with frame count; value reads are the
+	// slowest of the three query types (paper: ~2k reads/s vs ~10k
+	// keys+dels/s).
+	if rows[2].RetrieveKeys <= rows[0].RetrieveKeys/2 {
+		t.Errorf("key scan not growing with frames: %v vs %v",
+			rows[0].RetrieveKeys, rows[2].RetrieveKeys)
+	}
+	big := rows[2]
+	if big.RetrieveValues <= big.RetrieveKeys/2 {
+		t.Logf("note: value reads unusually fast (%v vs keys %v)", big.RetrieveValues, big.RetrieveKeys)
+	}
+	out := Fig7Text(rows)
+	if !strings.Contains(out, "Fig 7") || !strings.Contains(out, "2000") {
+		t.Errorf("Fig7Text malformed:\n%s", out)
+	}
+}
+
+func TestFig8AAFeedback(t *testing.T) {
+	res := Fig8AAFeedback(400, 6, 2*time.Second, 1)
+	if len(res.Rows) != 400 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.WithinTarget < 0.9 {
+		t.Errorf("within-target fraction = %.2f, want > 0.9 (paper 0.97)", res.WithinTarget)
+	}
+	if res.WithinTarget == 1 {
+		t.Error("no iteration missed the target: backlog bursts missing")
+	}
+	// Linear scaling past the knee: a 6400-frame iteration takes ~4x a
+	// 1600-frame one.
+	var small, large time.Duration
+	var nSmall, nLarge int
+	for _, r := range res.Rows {
+		if r.Frames > 1500 && r.Frames < 2500 {
+			small += r.Time
+			nSmall++
+		}
+		if r.Frames > 5500 {
+			large += r.Time
+			nLarge++
+		}
+	}
+	if nSmall > 0 && nLarge > 0 {
+		ratio := float64(large/time.Duration(nLarge)) / float64(small/time.Duration(nSmall))
+		if ratio < 2 || ratio > 5 {
+			t.Errorf("scaling ratio = %.1f, want ~3 (linear)", ratio)
+		}
+	}
+	if !strings.Contains(Fig8Text(res), "10-min target") {
+		t.Error("Fig8Text malformed")
+	}
+}
+
+func TestFluxFixSmall(t *testing.T) {
+	// Scaled-down emulation: 200 nodes, 1200 GPU jobs.
+	res, err := FluxFix670(200, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExhaustiveVisits <= res.FirstMatchVisits {
+		t.Fatalf("exhaustive (%d) not slower than first-match (%d)",
+			res.ExhaustiveVisits, res.FirstMatchVisits)
+	}
+	// The improvement should be orders of magnitude even at this scale.
+	if res.VisitRatio() < 50 {
+		t.Errorf("visit ratio = %.0f, want >> 50", res.VisitRatio())
+	}
+	if !strings.Contains(FluxFixText(res), "improvement") {
+		t.Error("FluxFixText malformed")
+	}
+}
+
+func TestTaridxThroughputSmall(t *testing.T) {
+	res, err := TaridxThroughput(t.TempDir(), 200, 156_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inodes != 2 {
+		t.Errorf("inodes = %d, want 2 (tar + index)", res.Inodes)
+	}
+	if res.FilesPerSec() <= 0 || res.MBPerSec() <= 0 {
+		t.Error("throughput not measured")
+	}
+	if !strings.Contains(TaridxText(res), "files/s") {
+		t.Error("TaridxText malformed")
+	}
+}
+
+func TestFeedback12xSmall(t *testing.T) {
+	res, err := Feedback12x(t.TempDir(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FSTime <= 0 || res.KVTime <= 0 {
+		t.Fatal("times not measured")
+	}
+	// On local disk the gap is narrower than GPFS-vs-Redis, but the
+	// database path must not lose.
+	if res.Speedup() < 1.0 {
+		t.Errorf("kv backend slower than fs: %.2fx", res.Speedup())
+	}
+	if !strings.Contains(FeedbackText(res), "speedup") {
+		t.Error("FeedbackText malformed")
+	}
+}
+
+func TestSelectorScalingSmall(t *testing.T) {
+	res, err := SelectorScaling(5000, 200_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPSUpdateTime <= 0 {
+		t.Error("FPS update not measured")
+	}
+	// Binned ingest at 40x the FPS queue size must still be cheap: the O(1)
+	// add is the design point that buys the paper its 165x capacity.
+	perAdd := res.BinnedAddTime / time.Duration(res.BinnedN)
+	if perAdd > 10*time.Microsecond {
+		t.Errorf("binned add = %v each, want O(µs)", perAdd)
+	}
+	if res.CandidateRatio != 40 {
+		t.Errorf("candidate ratio = %v", res.CandidateRatio)
+	}
+	if !strings.Contains(SelectorText(res), "selector scaling") {
+		t.Error("SelectorText malformed")
+	}
+}
+
+func TestBundlingAblationSmall(t *testing.T) {
+	res, err := BundlingAblation(4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbundled must beat bundled on both utilization and makespan.
+	if res.UnbundledUtil <= res.BundledUtilization {
+		t.Errorf("unbundled util %.2f <= bundled %.2f",
+			res.UnbundledUtil, res.BundledUtilization)
+	}
+	if res.UnbundledMakespan >= res.BundledMakespan {
+		t.Errorf("unbundled makespan %v >= bundled %v",
+			res.UnbundledMakespan, res.BundledMakespan)
+	}
+	if !strings.Contains(BundlingText(res), "bundling ablation") {
+		t.Error("BundlingText malformed")
+	}
+}
+
+func TestInventoryAblation(t *testing.T) {
+	rows, err := InventoryAblation([]float64{0.02, 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A starved inventory must cost GPU occupancy relative to a healthy one.
+	if rows[0].GPUMeanPct >= rows[1].GPUMeanPct {
+		t.Errorf("tiny inventory GPU %.1f%% not below healthy %.1f%%",
+			rows[0].GPUMeanPct, rows[1].GPUMeanPct)
+	}
+	if !strings.Contains(InventoryText(rows), "inventory ablation") {
+		t.Error("InventoryText malformed")
+	}
+}

@@ -1,0 +1,234 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mummi/internal/profile"
+	"mummi/internal/stats"
+	"mummi/internal/units"
+)
+
+// RunLedger records one completed allocation (a Table 1 entry, unrolled).
+type RunLedger struct {
+	Nodes     int             `json:"nodes"`
+	Wall      time.Duration   `json:"wall"`
+	NodeHours units.NodeHours `json:"node_hours"`
+}
+
+// PerfSample is one simulation's (system size, rate) pair for Fig. 4.
+type PerfSample struct {
+	Size   int     `json:"size"`
+	PerDay float64 `json:"per_day"`
+}
+
+// TimelinePoint is one job placement relative to its run's start (Fig. 6).
+type TimelinePoint struct {
+	Offset time.Duration `json:"offset"`
+	Job    int64         `json:"job"`
+}
+
+// Result aggregates everything the §5 evaluation reports.
+type Result struct {
+	// Table 1.
+	Table1         []RunLedger     `json:"table1"`
+	RunsDone       int             `json:"runs_done"`
+	TotalNodeHours units.NodeHours `json:"total_node_hours"`
+
+	// §5.1 campaign counts.
+	Snapshots         int           `json:"snapshots"`
+	ContinuumTotal    units.SimTime `json:"continuum_total_fs"`
+	Patches           int64         `json:"patches"`
+	CGSelected        int           `json:"cg_selected"`
+	CGFrames          int64         `json:"cg_frames"`
+	CGFrameCandidates int64         `json:"cg_frame_candidates"`
+	AASelected        int           `json:"aa_selected"`
+	CGTotal           units.SimTime `json:"cg_total_fs"`
+	AATotal           units.SimTime `json:"aa_total_fs"`
+
+	// Fig. 3 length distributions.
+	CGLengthsUs []float64 `json:"-"`
+	AALengthsNs []float64 `json:"-"`
+
+	// Fig. 4 performance samples.
+	ContinuumPerf []float64    `json:"-"`
+	CGPerf        []PerfSample `json:"-"`
+	AAPerf        []PerfSample `json:"-"`
+
+	// Fig. 5 occupancy.
+	ProfileEvents []profile.Event `json:"-"`
+
+	// Fig. 6 placement timelines.
+	Timeline1000 []TimelinePoint `json:"-"`
+	Timeline4000 []TimelinePoint `json:"-"`
+
+	// §5.2 data ledger.
+	Files int64 `json:"files"`
+	Bytes int64 `json:"bytes"`
+
+	// InjectedFailures counts simulation jobs killed by failure injection
+	// (all resubmitted by the workflow; see Config.FailuresPerDay).
+	InjectedFailures int `json:"injected_failures"`
+
+	// Derived headline statistics, filled by finalize.
+	GPUAtLeast98Frac float64 `json:"gpu_at_least_98_frac"`
+	GPUMeanPct       float64 `json:"gpu_mean_pct"`
+	GPUMedianPct     float64 `json:"gpu_median_pct"`
+	CPUMeanPct       float64 `json:"cpu_mean_pct"`
+	CPUMedianPct     float64 `json:"cpu_median_pct"`
+	ArchiveCount     int64   `json:"archive_count"`
+}
+
+func newResult() *Result { return &Result{} }
+
+// filesPerArchive is the campaign's observed packing density
+// (1,034,232,900 files / 114,552 archives ≈ 9028 — the "9000× reduction").
+const filesPerArchive = 9028
+
+func (r *Result) finalize() {
+	r.GPUAtLeast98Frac, r.GPUMeanPct, r.GPUMedianPct = profile.Headline(r.ProfileEvents, 98)
+	var cpu stats.Summary
+	cpuVals := make([]float64, 0, len(r.ProfileEvents))
+	for _, ev := range r.ProfileEvents {
+		cpu.Add(ev.CPUFrac * 100)
+		cpuVals = append(cpuVals, ev.CPUFrac*100)
+	}
+	r.CPUMeanPct = cpu.Mean()
+	r.CPUMedianPct = stats.Median(cpuVals)
+	r.ArchiveCount = r.Files / filesPerArchive
+}
+
+// Table1Text renders the Table 1 reproduction, aggregated like the paper.
+func (r *Result) Table1Text() string {
+	type agg struct {
+		wall  time.Duration
+		count int
+		nh    units.NodeHours
+	}
+	byKey := map[string]*agg{}
+	var order []string
+	for _, l := range r.Table1 {
+		key := fmt.Sprintf("%d/%s", l.Nodes, l.Wall)
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{wall: l.Wall}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.count++
+		a.nh += l.NodeHours
+	}
+	t := stats.Table{Header: []string{"#nodes", "wall-time", "#runs", "node hours"}}
+	for _, key := range order {
+		a := byKey[key]
+		nodes := strings.SplitN(key, "/", 2)[0]
+		t.AddRow(nodes, fmt.Sprintf("%.0f hours", a.wall.Hours()),
+			fmt.Sprintf("%d", a.count), fmt.Sprintf("%.0f", float64(a.nh)))
+	}
+	t.AddRow("total", "", fmt.Sprintf("%d", r.RunsDone), fmt.Sprintf("%.0f", float64(r.TotalNodeHours)))
+	return t.String()
+}
+
+// Fig3Text renders the simulation-length histograms.
+func (r *Result) Fig3Text() string {
+	cg := stats.NewHistogram(0, 5.0001, 25)
+	for _, v := range r.CGLengthsUs {
+		cg.Add(v)
+	}
+	aa := stats.NewHistogram(0, 70, 35)
+	for _, v := range r.AALengthsNs {
+		aa.Add(v)
+	}
+	return cg.Render(fmt.Sprintf("Fig 3 (CG): simulation length (µs), total=%d", len(r.CGLengthsUs))) +
+		aa.Render(fmt.Sprintf("Fig 3 (AA): simulation length (ns), total=%d", len(r.AALengthsNs)))
+}
+
+// Fig4Text renders the per-scale performance distributions.
+func (r *Result) Fig4Text() string {
+	cont := stats.NewHistogram(0, 1.1, 22)
+	for _, v := range r.ContinuumPerf {
+		cont.Add(v)
+	}
+	var cg, aa stats.Summary
+	for _, s := range r.CGPerf {
+		cg.Add(s.PerDay)
+	}
+	for _, s := range r.AAPerf {
+		aa.Add(s.PerDay)
+	}
+	var b strings.Builder
+	b.WriteString(cont.Render("Fig 4 (continuum): performance (ms/day)"))
+	fmt.Fprintf(&b, "# Fig 4 (CG): µs/day vs system size: %s\n", cg.String())
+	fmt.Fprintf(&b, "# Fig 4 (AA): ns/day vs system size: %s\n", aa.String())
+	return b.String()
+}
+
+// Fig5Text renders the occupancy distributions and headline claims.
+func (r *Result) Fig5Text() string {
+	gpu, cpu := profile.OccupancyHistograms(r.ProfileEvents, 20)
+	var b strings.Builder
+	b.WriteString(gpu.Render("Fig 5: GPU occupancy (%) over profile events"))
+	b.WriteString(cpu.Render("Fig 5: CPU occupancy (%) over profile events"))
+	fmt.Fprintf(&b, "GPU occupancy >= 98%% for %.1f%% of the time (paper: >83%%)\n",
+		r.GPUAtLeast98Frac*100)
+	fmt.Fprintf(&b, "GPU mean %.2f%% median %.2f%% (paper: 93.73%% / 99.93%%)\n",
+		r.GPUMeanPct, r.GPUMedianPct)
+	fmt.Fprintf(&b, "CPU mean %.2f%% median %.2f%% (paper: 54.12%% / 50.48%%)\n",
+		r.CPUMeanPct, r.CPUMedianPct)
+	return b.String()
+}
+
+// Fig6Text renders running-job counts over time for the kept runs.
+func (r *Result) Fig6Text() string {
+	var b strings.Builder
+	render := func(name string, tl []TimelinePoint, horizon time.Duration) {
+		if len(tl) == 0 {
+			fmt.Fprintf(&b, "# Fig 6 (%s): no timeline captured\n", name)
+			return
+		}
+		fmt.Fprintf(&b, "# Fig 6 (%s): cumulative GPU-job placements vs time\n", name)
+		fmt.Fprintf(&b, "%12s %8s\n", "hour", "placed")
+		step := 30 * time.Minute
+		i := 0
+		for t := step; t <= horizon; t += step {
+			for i < len(tl) && tl[i].Offset <= t {
+				i++
+			}
+			fmt.Fprintf(&b, "%12.1f %8d\n", t.Hours(), i)
+			if i >= len(tl) && t > tl[len(tl)-1].Offset {
+				break
+			}
+		}
+	}
+	render("1000 nodes", r.Timeline1000, 24*time.Hour)
+	render("4000 nodes", r.Timeline4000, 24*time.Hour)
+	return b.String()
+}
+
+// CountsText renders the §5.1 campaign counts against the paper's.
+func (r *Result) CountsText() string {
+	t := stats.Table{Header: []string{"quantity", "measured", "paper"}}
+	t.AddRow("node hours", fmt.Sprintf("%.0f", float64(r.TotalNodeHours)), "600,600")
+	t.AddRow("continuum snapshots", fmt.Sprintf("%d", r.Snapshots), "20,507")
+	t.AddRow("continuum total (ms)", fmt.Sprintf("%.2f", r.ContinuumTotal.Milliseconds()), "20.5")
+	t.AddRow("patches", fmt.Sprintf("%d", r.Patches), "6,828,831")
+	t.AddRow("CG sims selected", fmt.Sprintf("%d", r.CGSelected), "34,523")
+	t.AddRow("CG selected fraction", fmt.Sprintf("%.3f%%", pct(int64(r.CGSelected), r.Patches)), "0.5%")
+	t.AddRow("CG total (ms)", fmt.Sprintf("%.2f", r.CGTotal.Milliseconds()), "96.67")
+	t.AddRow("CG frame candidates", fmt.Sprintf("%d", r.CGFrameCandidates), "9,837,316")
+	t.AddRow("AA sims selected", fmt.Sprintf("%d", r.AASelected), "9,632")
+	t.AddRow("AA selected fraction", fmt.Sprintf("%.3f%%", pct(int64(r.AASelected), r.CGFrameCandidates)), "0.098%")
+	t.AddRow("AA total (µs)", fmt.Sprintf("%.1f", r.AATotal.Microseconds()), "326")
+	t.AddRow("files", fmt.Sprintf("%d", r.Files), "1,034,232,900")
+	t.AddRow("archives (@9028 files)", fmt.Sprintf("%d", r.ArchiveCount), "114,552")
+	t.AddRow("data (TB)", fmt.Sprintf("%.1f", float64(r.Bytes)/1e12), "several TB/day")
+	return t.String()
+}
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

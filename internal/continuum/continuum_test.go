@@ -1,0 +1,234 @@
+package continuum
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mummi/internal/units"
+)
+
+func small() Config {
+	return Config{GridN: 32, Domain: 100 * units.Nm, InnerLipids: 3, OuterLipids: 2,
+		Proteins: 5, Seed: 7}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{GridN: 4, Domain: 1, InnerLipids: 1},
+		{GridN: 64, Domain: 0, InnerLipids: 1},
+		{GridN: 64, Domain: 1, InnerLipids: 0},
+		{GridN: 64, Domain: 1, InnerLipids: 1, Proteins: -1},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if DefaultConfig().Species() != 14 {
+		t.Errorf("paper has 8+6=14 species, default has %d", DefaultConfig().Species())
+	}
+}
+
+func TestStepAdvancesTimeAndMoves(t *testing.T) {
+	s, err := New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Proteins()
+	s.Step(1 * units.Microsecond)
+	if s.Time() != 1*units.Microsecond {
+		t.Errorf("Time = %v", s.Time())
+	}
+	after := s.Proteins()
+	moved := 0
+	for i := range before {
+		if before[i].X != after[i].X || before[i].Y != after[i].Y {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no protein moved in 1 µs")
+	}
+	for _, p := range after {
+		if p.X < 0 || p.X >= 100 || p.Y < 0 || p.Y >= 100 {
+			t.Errorf("protein left the periodic domain: %+v", p)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []Protein {
+		s, _ := New(small())
+		s.Step(2 * units.Microsecond)
+		return s.Proteins()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at protein %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDiffusionSmoothsFields(t *testing.T) {
+	s, _ := New(small())
+	// Variance of a diffusing field must not increase (up to the small
+	// protein accretion term).
+	varOf := func() float64 {
+		var sum, sum2 float64
+		n := 0
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				v := s.Density(0, x, y)
+				sum += v
+				sum2 += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		return sum2/float64(n) - mean*mean
+	}
+	v0 := varOf()
+	s.Step(5 * units.Microsecond)
+	v1 := varOf()
+	if v1 > v0*1.05 {
+		t.Errorf("field variance grew: %v -> %v", v0, v1)
+	}
+}
+
+func TestUpdateCouplingsFeedback(t *testing.T) {
+	s, _ := New(small())
+	if s.ParamVersion() != 0 {
+		t.Fatal("fresh sim has nonzero param version")
+	}
+	c := s.Couplings()
+	c[StateRASRAFa][0] = 0.9
+	if err := s.UpdateCouplings(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.ParamVersion() != 1 {
+		t.Errorf("ParamVersion = %d", s.ParamVersion())
+	}
+	if got := s.Couplings()[StateRASRAFa][0]; got != 0.9 {
+		t.Errorf("coupling = %v", got)
+	}
+	// Mutating the returned copy must not touch internals.
+	s.Couplings()[0][0] = 123
+	if s.Couplings()[0][0] == 123 {
+		t.Error("Couplings returned aliased storage")
+	}
+	// Shape errors rejected.
+	if err := s.UpdateCouplings(c[:1]); err == nil {
+		t.Error("short state list accepted")
+	}
+	bad := s.Couplings()
+	bad[0] = bad[0][:2]
+	if err := s.UpdateCouplings(bad); err == nil {
+		t.Error("short species row accepted")
+	}
+}
+
+func TestCouplingInfluencesField(t *testing.T) {
+	// A strong coupling must accumulate density at protein locations.
+	cfg := small()
+	cfg.Proteins = 1
+	s, _ := New(cfg)
+	c := s.Couplings()
+	for st := range c {
+		c[st][0] = 5.0
+	}
+	s.UpdateCouplings(c)
+	p := s.Proteins()[0]
+	cell := cfg.Domain.Nanometers() / float64(cfg.GridN)
+	x, y := int(p.X/cell)%cfg.GridN, int(p.Y/cell)%cfg.GridN
+	before := s.Density(0, x, y)
+	s.diffuse() // single sub-step keeps the protein in place
+	after := s.Density(0, x, y)
+	if after <= before {
+		t.Errorf("coupled density did not grow: %v -> %v", before, after)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, _ := New(small())
+	s.Step(3 * units.Microsecond)
+	snap := s.Snapshot()
+	b, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != snap.Time || got.GridN != snap.GridN || got.Domain != snap.Domain {
+		t.Errorf("header mismatch: %+v vs %+v", got, snap)
+	}
+	if len(got.Protein) != len(snap.Protein) || got.Protein[2] != snap.Protein[2] {
+		t.Error("protein records mismatch")
+	}
+	if len(got.Fields) != len(snap.Fields) {
+		t.Fatalf("fields = %d", len(got.Fields))
+	}
+	for i := range got.Fields {
+		if !equalF32(got.Fields[i], snap.Fields[i]) {
+			t.Fatalf("field %d corrupted", i)
+		}
+	}
+	if int64(snap.EstimatedSize()) != int64(len(b)) {
+		t.Errorf("EstimatedSize = %v, actual %d", snap.EstimatedSize(), len(b))
+	}
+}
+
+func TestSnapshotDecodeErrors(t *testing.T) {
+	if _, err := UnmarshalSnapshot(nil); err == nil {
+		t.Error("empty snapshot decoded")
+	}
+	if _, err := UnmarshalSnapshot([]byte("XXXXGARBAGE")); err == nil {
+		t.Error("bad magic decoded")
+	}
+	s, _ := New(small())
+	b, _ := s.Snapshot().Marshal()
+	if _, err := UnmarshalSnapshot(b[:len(b)-100]); err == nil {
+		t.Error("truncated snapshot decoded")
+	}
+	// Corrupt the version.
+	bad := bytes.Clone(b)
+	bad[4] = 99
+	if _, err := UnmarshalSnapshot(bad); err == nil {
+		t.Error("bad version decoded")
+	}
+}
+
+func TestFullScaleSnapshotSizeMatchesPaper(t *testing.T) {
+	// §4.1(1): "when stored in a custom binary format, consumes ∼374 MB".
+	got := FullScaleSnapshotSize()
+	if got < 300*units.MB || got > 450*units.MB {
+		t.Errorf("full-scale snapshot = %v, want ~374 MB", got)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s, _ := New(small())
+	snap := s.Snapshot()
+	snap.Fields[0][0] = 999
+	if math.Abs(s.Density(0, 0, 0)-999) < 1 {
+		t.Error("snapshot aliases live fields")
+	}
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

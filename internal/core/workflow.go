@@ -1,0 +1,647 @@
+// Package core implements the MuMMI Workflow Manager (WM, §4.4) — the
+// coordination half of the paper's two-part architecture. The WM couples
+// resolution scales pairwise: it ingests selection candidates produced from
+// coarse-scale data (Task 1), drives ML-based selection (Task 2), schedules
+// and tracks tens of thousands of jobs to keep the machine loaded (Task 3),
+// and runs frequent feedback iterations (Task 4). Everything
+// application-specific — what a scale is, how a candidate is encoded, what
+// a setup or simulation job runs, how feedback aggregates — enters through
+// the CouplingSpec plug points, which is what makes the framework
+// generalizable beyond the RAS-RAF-membrane campaign (§4.5).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mummi/internal/dynim"
+	"mummi/internal/feedback"
+	"mummi/internal/maestro"
+	"mummi/internal/sched"
+	"mummi/internal/vclock"
+)
+
+// CouplingSpec defines one pairwise coupling between a coarser scale (the
+// candidate producer) and a finer one (the simulations spawned). The
+// RAS-RAF campaign instantiates two: continuum→CG and CG→AA.
+type CouplingSpec struct {
+	// Name identifies the coupling ("continuum-to-cg").
+	Name string
+	// Selector decides which coarse candidates are promoted (Task 2).
+	Selector dynim.Selector
+	// SetupReq is the CPU-only setup job that transforms a selected coarse
+	// configuration into a runnable fine one (createsim, backmapping).
+	SetupReq sched.Request
+	// SetupDuration samples a setup job's runtime.
+	SetupDuration func(rng *rand.Rand) time.Duration
+	// SimReq is the fine-scale simulation job (one GPU in the campaign).
+	SimReq sched.Request
+	// SimDuration samples a simulation's wall-clock allotment for the
+	// selected point.
+	SimDuration func(rng *rand.Rand, p dynim.Point) time.Duration
+	// MaxSims is the concurrent fine-scale simulation target (the GPU
+	// share assigned to this coupling).
+	MaxSims int
+	// ReadyTarget sizes the prepared-configuration buffer: "sets of CG and
+	// AA simulations are kept prepared (setup completed) in anticipation"
+	// — a user-configurable trade-off between readiness and staleness that
+	// also governs CPU occupancy.
+	ReadyTarget int
+	// MaxSetups caps concurrent setup jobs independently of the inventory
+	// target (0 = uncapped): inventory can be deep (it persists across
+	// allocations) while CPU-core demand stays within what the machine can
+	// place without stalling the FCFS queue.
+	MaxSetups int
+	// TotalCap bounds how many simulations this coupling ever launches
+	// (0 = unlimited); the campaign driver uses it for selection budgets.
+	TotalCap int
+	// Feedback, when non-nil, runs every FeedbackEvery (Task 4).
+	Feedback      feedback.Manager
+	FeedbackEvery time.Duration
+	// OnSimStart/OnSimEnd observe simulation lifecycle (the application
+	// wires frame production and analysis here).
+	OnSimStart func(p dynim.Point, id sched.JobID)
+	OnSimEnd   func(p dynim.Point, id sched.JobID, st sched.State)
+}
+
+func (c *CouplingSpec) validate() error {
+	if c.Name == "" || c.Selector == nil {
+		return errors.New("core: coupling needs a name and a selector")
+	}
+	if c.MaxSims < 1 || c.ReadyTarget < 0 {
+		return fmt.Errorf("core: coupling %s: MaxSims %d / ReadyTarget %d invalid",
+			c.Name, c.MaxSims, c.ReadyTarget)
+	}
+	if c.Feedback != nil && c.FeedbackEvery <= 0 {
+		return fmt.Errorf("core: coupling %s: feedback without interval", c.Name)
+	}
+	return nil
+}
+
+// Config assembles a Workflow.
+type Config struct {
+	Clock     vclock.Clock
+	Conductor *maestro.Conductor
+	Couplings []CouplingSpec
+	// PollEvery is the job-scan cadence ("the WM regularly scans all
+	// running jobs ... and submits new jobs ... as soon as [resources]
+	// become available"; every few minutes in the campaign).
+	PollEvery time.Duration
+	// StaticJobs are submitted once at Start — the continuum simulation's
+	// 150-node job in the campaign.
+	StaticJobs []sched.Request
+	Seed       int64
+}
+
+// CouplingStats reports one coupling's live state.
+type CouplingStats struct {
+	Name          string `json:"name"`
+	Candidates    int    `json:"candidates"`
+	Ready         int    `json:"ready"`
+	InSetup       int    `json:"in_setup"`
+	Running       int    `json:"running"`
+	Launched      int    `json:"launched"`
+	CompletedSims int    `json:"completed_sims"`
+	FailedSims    int    `json:"failed_sims"`
+	FailedSetups  int    `json:"failed_setups"`
+	FeedbackRuns  int    `json:"feedback_runs"`
+}
+
+type jobRole int
+
+const (
+	roleSetup jobRole = iota
+	roleSim
+	roleStatic
+)
+
+type jobRecord struct {
+	role     jobRole
+	coupling int
+	point    dynim.Point
+}
+
+type couplingState struct {
+	spec  CouplingSpec
+	ready []dynim.Point
+	// redoSetup holds already-selected points whose setup must (re)run —
+	// populated by restore for setups interrupted by a crash, and by the
+	// failure path. They take priority over fresh selections.
+	redoSetup []dynim.Point
+	// pendingSetup/pendingSim count submissions in flight through the
+	// throttled conductor (no JobID yet).
+	pendingSetup int
+	pendingSim   int
+	inSetup      int
+	running      int
+	launched     int
+	completed    int
+	failedSims   int
+	failedSetups int
+	feedbackRuns int
+	feedbackBusy bool
+	lastReports  []feedback.Report
+}
+
+// Workflow is the workflow manager.
+type Workflow struct {
+	clk  vclock.Clock
+	cond *maestro.Conductor
+	rng  *rand.Rand
+
+	// The WM's shared objects are guarded by a blocking lock; the feedback
+	// path additionally uses a per-coupling nonblocking busy flag so a slow
+	// iteration skips rather than stalls job management — the paper's "mix
+	// of blocking and nonblocking locks".
+	mu        sync.Mutex
+	couplings []*couplingState
+	jobs      map[sched.JobID]jobRecord
+	poll      *vclock.Ticker
+	fbTickers []*vclock.Ticker
+	started   bool
+	stopped   bool
+	static    []sched.Request
+	pollEvery time.Duration
+}
+
+// New validates the configuration and builds a Workflow (not yet running).
+func New(cfg Config) (*Workflow, error) {
+	if cfg.Clock == nil || cfg.Conductor == nil {
+		return nil, errors.New("core: config needs a clock and a conductor")
+	}
+	if len(cfg.Couplings) == 0 {
+		return nil, errors.New("core: no couplings configured")
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 2 * time.Minute
+	}
+	w := &Workflow{
+		clk:       cfg.Clock,
+		cond:      cfg.Conductor,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		jobs:      make(map[sched.JobID]jobRecord),
+		static:    cfg.StaticJobs,
+		pollEvery: cfg.PollEvery,
+	}
+	names := map[string]bool{}
+	for i := range cfg.Couplings {
+		spec := cfg.Couplings[i]
+		if err := spec.validate(); err != nil {
+			return nil, err
+		}
+		if names[spec.Name] {
+			return nil, fmt.Errorf("core: duplicate coupling %q", spec.Name)
+		}
+		names[spec.Name] = true
+		w.couplings = append(w.couplings, &couplingState{spec: spec})
+	}
+	w.cond.OnFinish(w.onJobFinish)
+	w.cond.OnStart(w.onJobStart)
+	return w, nil
+}
+
+// onJobStart fires when the scheduler actually places a job (not at
+// submission): simulation start observers see real start times, which the
+// campaign's progress accounting depends on.
+func (w *Workflow) onJobStart(id sched.JobID) {
+	w.mu.Lock()
+	rec, ok := w.jobs[id]
+	var cb func(dynim.Point, sched.JobID)
+	if ok && rec.role == roleSim {
+		cb = w.couplings[rec.coupling].spec.OnSimStart
+	}
+	w.mu.Unlock()
+	if cb != nil {
+		cb(rec.point, id)
+	}
+}
+
+// Start submits static jobs and begins the poll and feedback tickers.
+func (w *Workflow) Start() error {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return errors.New("core: already started")
+	}
+	w.started = true
+	static := w.static
+	w.mu.Unlock()
+
+	for _, req := range static {
+		if err := w.cond.Submit(req, nil); err != nil {
+			return err
+		}
+	}
+	w.poll = vclock.NewTicker(w.clk, w.pollEvery, func(time.Time) { w.Poll() })
+	for i, cs := range w.couplings {
+		if cs.spec.Feedback == nil {
+			continue
+		}
+		idx := i
+		w.fbTickers = append(w.fbTickers,
+			vclock.NewTicker(w.clk, cs.spec.FeedbackEvery, func(time.Time) {
+				w.runFeedback(idx)
+			}))
+	}
+	w.Poll() // load the machine immediately rather than waiting a period
+	return nil
+}
+
+// Stop halts tickers; running jobs continue in the scheduler.
+func (w *Workflow) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	poll := w.poll
+	fbs := w.fbTickers
+	w.mu.Unlock()
+	if poll != nil {
+		poll.Stop()
+	}
+	for _, t := range fbs {
+		t.Stop()
+	}
+}
+
+// AddCandidate offers a coarse-scale candidate to a coupling's selector
+// (Task 1 hands patches here; the distributed CG analysis hands frames).
+func (w *Workflow) AddCandidate(coupling string, p dynim.Point) error {
+	cs := w.findCoupling(coupling)
+	if cs == nil {
+		return fmt.Errorf("core: unknown coupling %q", coupling)
+	}
+	return cs.spec.Selector.Add(p)
+}
+
+func (w *Workflow) findCoupling(name string) *couplingState {
+	for _, cs := range w.couplings {
+		if cs.spec.Name == name {
+			return cs
+		}
+	}
+	return nil
+}
+
+// Poll performs one Task-3 scan: replace finished simulations and keep the
+// ready buffers topped up. It is normally driven by the ticker but exposed
+// for deterministic tests.
+func (w *Workflow) Poll() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return
+	}
+	for i := range w.couplings {
+		w.pollCoupling(i)
+	}
+}
+
+// pollCoupling holds w.mu.
+func (w *Workflow) pollCoupling(i int) {
+	cs := w.couplings[i]
+	spec := &cs.spec
+
+	// 1. Spawn simulations from the ready buffer up to the concurrency
+	// target (and total cap).
+	for cs.running+cs.pendingSim < spec.MaxSims && len(cs.ready) > 0 &&
+		(spec.TotalCap == 0 || cs.launched < spec.TotalCap) {
+		p := cs.ready[0]
+		cs.ready = cs.ready[1:]
+		cs.pendingSim++
+		cs.launched++
+		req := spec.SimReq
+		if spec.SimDuration != nil {
+			req.Duration = spec.SimDuration(w.rng, p)
+		}
+		w.submitLocked(req, i, roleSim, p)
+	}
+
+	// 2. Keep the prepared buffer at target: new selections trigger setup
+	// jobs. A full buffer deliberately idles CPUs (anti-staleness).
+	if spec.TotalCap > 0 && cs.launched+len(cs.ready)+cs.inSetup+cs.pendingSetup >= spec.TotalCap {
+		return
+	}
+	want := spec.ReadyTarget - (len(cs.ready) + cs.inSetup + cs.pendingSetup)
+	if spec.MaxSetups > 0 {
+		if room := spec.MaxSetups - (cs.inSetup + cs.pendingSetup); room < want {
+			want = room
+		}
+	}
+	if want <= 0 {
+		return
+	}
+	// Interrupted setups re-run first; only then are fresh selections made.
+	var points []dynim.Point
+	for want > 0 && len(cs.redoSetup) > 0 {
+		points = append(points, cs.redoSetup[0])
+		cs.redoSetup = cs.redoSetup[1:]
+		want--
+	}
+	if want > 0 {
+		points = append(points, spec.Selector.Select(want)...)
+	}
+	for _, p := range points {
+		cs.pendingSetup++
+		req := spec.SetupReq
+		if spec.SetupDuration != nil {
+			req.Duration = spec.SetupDuration(w.rng)
+		}
+		w.submitLocked(req, i, roleSetup, p)
+	}
+}
+
+// submitLocked routes one job through the conductor. Caller holds w.mu; the
+// conductor callback re-acquires it.
+func (w *Workflow) submitLocked(req sched.Request, coupling int, role jobRole, p dynim.Point) {
+	err := w.cond.Submit(req, func(id sched.JobID, err error) {
+		w.mu.Lock()
+		cs := w.couplings[coupling]
+		switch role {
+		case roleSetup:
+			cs.pendingSetup--
+			if err != nil {
+				cs.failedSetups++
+				// Submission failure: the selection stands; re-run the setup.
+				cs.redoSetup = append(cs.redoSetup, p)
+			} else {
+				cs.inSetup++
+				w.jobs[id] = jobRecord{role: roleSetup, coupling: coupling, point: p}
+			}
+		case roleSim:
+			cs.pendingSim--
+			if err != nil {
+				cs.failedSims++
+				cs.launched--
+				cs.ready = append(cs.ready, p)
+			} else {
+				cs.running++
+				w.jobs[id] = jobRecord{role: roleSim, coupling: coupling, point: p}
+			}
+		}
+		w.mu.Unlock()
+	})
+	if err != nil {
+		// Conductor closed: undo optimistic counters.
+		cs := w.couplings[coupling]
+		if role == roleSetup {
+			cs.pendingSetup--
+		} else {
+			cs.pendingSim--
+			cs.launched--
+		}
+	}
+}
+
+// onJobFinish is the conductor's terminal-state callback (Task 3's
+// completion scan, event-driven).
+func (w *Workflow) onJobFinish(id sched.JobID, st sched.State) {
+	w.mu.Lock()
+	rec, ok := w.jobs[id]
+	if !ok {
+		w.mu.Unlock()
+		return // static or foreign job
+	}
+	delete(w.jobs, id)
+	cs := w.couplings[rec.coupling]
+	var onEnd func(dynim.Point, sched.JobID, sched.State)
+	switch rec.role {
+	case roleSetup:
+		cs.inSetup--
+		if st == sched.Completed {
+			// Setup produced a runnable configuration: queue it for the
+			// corresponding simulation.
+			cs.ready = append(cs.ready, rec.point)
+		} else {
+			cs.failedSetups++
+			// "resubmits failed ones": the same configuration re-runs setup.
+			cs.redoSetup = append(cs.redoSetup, rec.point)
+		}
+	case roleSim:
+		cs.running--
+		if st == sched.Completed {
+			cs.completed++
+		} else {
+			cs.failedSims++
+			// "resubmits failed ones": the configuration returns to the
+			// front of the ready queue.
+			cs.ready = append([]dynim.Point{rec.point}, cs.ready...)
+			cs.launched--
+		}
+		onEnd = cs.spec.OnSimEnd
+	}
+	idx := rec.coupling
+	stopped := w.stopped
+	w.mu.Unlock()
+	if onEnd != nil {
+		onEnd(rec.point, id, st)
+	}
+	// Re-engage resources immediately rather than waiting for the next
+	// poll tick.
+	if !stopped {
+		w.mu.Lock()
+		w.pollCoupling(idx)
+		w.mu.Unlock()
+	}
+}
+
+// runFeedback performs one Task-4 iteration for coupling i. The busy flag
+// is the nonblocking side of the locking mix: if the previous iteration is
+// still running, this tick is skipped instead of queueing behind it.
+func (w *Workflow) runFeedback(i int) {
+	w.mu.Lock()
+	cs := w.couplings[i]
+	if cs.feedbackBusy || w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	cs.feedbackBusy = true
+	mgr := cs.spec.Feedback
+	w.mu.Unlock()
+
+	rep, err := mgr.Iterate()
+
+	w.mu.Lock()
+	cs.feedbackBusy = false
+	if err == nil {
+		cs.feedbackRuns++
+		cs.lastReports = append(cs.lastReports, rep)
+	}
+	w.mu.Unlock()
+}
+
+// Stats snapshots every coupling's state.
+func (w *Workflow) Stats() []CouplingStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]CouplingStats, len(w.couplings))
+	for i, cs := range w.couplings {
+		out[i] = CouplingStats{
+			Name:          cs.spec.Name,
+			Candidates:    cs.spec.Selector.Len(),
+			Ready:         len(cs.ready),
+			InSetup:       cs.inSetup + cs.pendingSetup + len(cs.redoSetup),
+			Running:       cs.running + cs.pendingSim,
+			Launched:      cs.launched,
+			CompletedSims: cs.completed,
+			FailedSims:    cs.failedSims,
+			FailedSetups:  cs.failedSetups,
+			FeedbackRuns:  cs.feedbackRuns,
+		}
+	}
+	return out
+}
+
+// FeedbackReports returns the recorded feedback reports for a coupling.
+func (w *Workflow) FeedbackReports(coupling string) []feedback.Report {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cs := w.findCoupling(coupling)
+	if cs == nil {
+		return nil
+	}
+	return append([]feedback.Report(nil), cs.lastReports...)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore (§4.4 resilience: "can be restored completely after
+// any such crash without much loss of data")
+
+type checkpoint struct {
+	Couplings []couplingCkpt `json:"couplings"`
+}
+
+type couplingCkpt struct {
+	Name string `json:"name"`
+	// Ready holds prepared configurations. RunningSims holds configurations
+	// whose simulation was live at checkpoint time — on restore they return
+	// to the ready queue and resume without a new setup (simulations restart
+	// from their own checkpoints in the real system). InSetup holds
+	// configurations whose setup job was live — their setup must re-run, so
+	// they are re-offered to the selector.
+	Ready       []dynim.Point   `json:"ready"`
+	RunningSims []dynim.Point   `json:"running_sims"`
+	InSetup     []dynim.Point   `json:"in_setup"`
+	Launched    int             `json:"launched"`
+	Completed   int             `json:"completed"`
+	Selector    json.RawMessage `json:"selector,omitempty"`
+}
+
+// Checkpointer is implemented by selectors that support state capture
+// (both dynim samplers do).
+type Checkpointer interface {
+	Checkpoint() ([]byte, error)
+}
+
+// Checkpoint serializes the WM's recoverable state.
+func (w *Workflow) Checkpoint() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var ck checkpoint
+	for _, cs := range w.couplings {
+		c := couplingCkpt{
+			Name:      cs.spec.Name,
+			Ready:     append([]dynim.Point(nil), cs.ready...),
+			InSetup:   append([]dynim.Point(nil), cs.redoSetup...),
+			Launched:  cs.launched,
+			Completed: cs.completed,
+		}
+		// Deterministic checkpoint: job-map iteration order must not leak
+		// into the restore order (campaign replays depend on it).
+		ids := make([]sched.JobID, 0, len(w.jobs))
+		for id := range w.jobs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rec := w.jobs[id]
+			if w.couplings[rec.coupling] != cs {
+				continue
+			}
+			if rec.role == roleSim {
+				c.RunningSims = append(c.RunningSims, rec.point)
+			} else {
+				c.InSetup = append(c.InSetup, rec.point)
+			}
+		}
+		if ckp, ok := cs.spec.Selector.(Checkpointer); ok {
+			b, err := ckp.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			c.Selector = b
+		}
+		ck.Couplings = append(ck.Couplings, c)
+	}
+	return json.Marshal(ck)
+}
+
+// RestoreState rehydrates a Workflow built with the same coupling specs
+// (selector restoration is the caller's job — selectors are restored by
+// their own Restore functions and passed in via the specs). In-flight work
+// returns to the ready queue; running jobs at crash time are re-run.
+func (w *Workflow) RestoreState(data []byte) error {
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		return errors.New("core: restore must precede Start")
+	}
+	for _, c := range ck.Couplings {
+		cs := w.findCoupling(c.Name)
+		if cs == nil {
+			return fmt.Errorf("core: checkpoint has unknown coupling %q", c.Name)
+		}
+		// Resumed simulations go to the front of the ready queue: they
+		// re-enter the machine first, without a new setup.
+		cs.ready = append([]dynim.Point(nil), c.RunningSims...)
+		cs.ready = append(cs.ready, c.Ready...)
+		cs.launched = c.Launched - len(c.RunningSims)
+		if cs.launched < 0 {
+			cs.launched = 0
+		}
+		cs.completed = c.Completed
+		// Interrupted setups re-run (their selection already happened).
+		cs.redoSetup = append(cs.redoSetup, c.InSetup...)
+	}
+	return nil
+}
+
+// InjectReady pushes prepared configurations straight into a coupling's
+// ready queue, bypassing selection and setup — the campaign driver uses it
+// to resume checkpointed simulations across allocations.
+func (w *Workflow) InjectReady(coupling string, points []dynim.Point) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cs := w.findCoupling(coupling)
+	if cs == nil {
+		return fmt.Errorf("core: unknown coupling %q", coupling)
+	}
+	cs.ready = append(points, cs.ready...)
+	return nil
+}
+
+// SelectorCheckpoint extracts one coupling's selector snapshot from a WM
+// checkpoint, for rebuilding the selector before constructing the new WM.
+func SelectorCheckpoint(data []byte, coupling string) ([]byte, error) {
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	for _, c := range ck.Couplings {
+		if c.Name == coupling {
+			return c.Selector, nil
+		}
+	}
+	return nil, fmt.Errorf("core: coupling %q not in checkpoint", coupling)
+}

@@ -1,0 +1,77 @@
+package datastore_test
+
+import (
+	"testing"
+
+	"mummi/internal/datastore"
+	"mummi/internal/datastore/dstest"
+)
+
+func TestMemoryConformance(t *testing.T) {
+	dstest.Run(t, func(t *testing.T) datastore.Store {
+		return datastore.NewMemory()
+	})
+}
+
+func TestOpenMemory(t *testing.T) {
+	s, err := datastore.Open(datastore.Config{Backend: datastore.BackendMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("ns", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenUnknownBackend(t *testing.T) {
+	if _, err := datastore.Open(datastore.Config{Backend: "bogus"}); err == nil {
+		t.Fatal("Open of unknown backend succeeded")
+	}
+}
+
+func TestRegisterCustomBackend(t *testing.T) {
+	// §4.5: applications can add their own data interfaces via the same API.
+	datastore.Register("custom-test", func(datastore.Config) (datastore.Store, error) {
+		return datastore.NewMemory(), nil
+	})
+	s, err := datastore.Open(datastore.Config{Backend: "custom-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	found := false
+	for _, b := range datastore.Backends() {
+		if b == "custom-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered backend missing from Backends()")
+	}
+}
+
+func TestMemoryValueIsolation(t *testing.T) {
+	// Mutating a returned or stored slice must not affect the store.
+	s := datastore.NewMemory()
+	src := []byte("abc")
+	if err := s.Put("ns", "k", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 'X'
+	got, err := s.Get("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Errorf("store aliased caller slice: %q", got)
+	}
+	got[0] = 'Y'
+	again, err := s.Get("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "abc" {
+		t.Errorf("store aliased returned slice: %q", again)
+	}
+}

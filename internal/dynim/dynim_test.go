@@ -1,0 +1,509 @@
+package dynim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fp2(t *testing.T, capacity int) *FarthestPoint {
+	t.Helper()
+	return NewFarthestPoint(2, capacity)
+}
+
+func TestFPSGreedyFarthestOrder(t *testing.T) {
+	f := fp2(t, 0)
+	// Points on a line: 0, 1, 10. First selection has no reference set, so
+	// ties (+Inf) break by ID; then the farthest-from-selected rule applies.
+	pts := []Point{
+		{ID: "a", Coords: []float64{0, 0}},
+		{ID: "b", Coords: []float64{1, 0}},
+		{ID: "c", Coords: []float64{10, 0}},
+	}
+	for _, p := range pts {
+		if err := f.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := f.Select(3)
+	ids := []string{got[0].ID, got[1].ID, got[2].ID}
+	// First: "a" (ID tie-break at +Inf). Then farthest from {a} is "c"
+	// (d=10 vs 1). Then "b".
+	if !reflect.DeepEqual(ids, []string{"a", "c", "b"}) {
+		t.Errorf("selection order = %v", ids)
+	}
+}
+
+func TestFPSSelectionIsDiverse(t *testing.T) {
+	// Selecting k from two tight clusters must cover both clusters before
+	// re-visiting one — the defining property of farthest-point sampling.
+	f := fp2(t, 0)
+	for i := 0; i < 20; i++ {
+		f.Add(Point{ID: fmt.Sprintf("L%02d", i), Coords: []float64{float64(i) * 0.001, 0}})
+		f.Add(Point{ID: fmt.Sprintf("R%02d", i), Coords: []float64{100 + float64(i)*0.001, 0}})
+	}
+	got := f.Select(2)
+	if len(got) != 2 {
+		t.Fatal("short selection")
+	}
+	left := got[0].Coords[0] < 50
+	right := got[1].Coords[0] >= 50
+	if left == (got[1].Coords[0] < 50) {
+		t.Errorf("both selections from the same cluster: %v %v", got[0], got[1])
+	}
+	_ = right
+}
+
+func TestFPSAddDimensionMismatch(t *testing.T) {
+	f := fp2(t, 0)
+	if err := f.Add(Point{ID: "x", Coords: []float64{1, 2, 3}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFPSDuplicateIDsIgnored(t *testing.T) {
+	f := fp2(t, 0)
+	f.Add(Point{ID: "p", Coords: []float64{0, 0}})
+	f.Add(Point{ID: "p", Coords: []float64{9, 9}})
+	if f.Len() != 1 {
+		t.Errorf("Len = %d after duplicate add", f.Len())
+	}
+	got := f.Select(1)
+	if got[0].Coords[0] != 0 {
+		t.Error("duplicate overwrote original")
+	}
+	// Re-adding a selected ID is also ignored.
+	f.Add(Point{ID: "p", Coords: []float64{5, 5}})
+	if f.Len() != 0 {
+		t.Errorf("selected ID re-queued; Len = %d", f.Len())
+	}
+}
+
+func TestFPSCapacityEvictsLeastNovel(t *testing.T) {
+	f := fp2(t, 3)
+	// Select one reference point first so ranks are meaningful.
+	f.Add(Point{ID: "ref", Coords: []float64{0, 0}})
+	f.Select(1)
+	// Add three candidates at distances 1, 5, 9, then refresh ranks.
+	f.Add(Point{ID: "near", Coords: []float64{1, 0}})
+	f.Add(Point{ID: "mid", Coords: []float64{5, 0}})
+	f.Add(Point{ID: "far", Coords: []float64{9, 0}})
+	f.Update()
+	// A fourth add overflows the cap: the least novel ("near") must go.
+	f.Add(Point{ID: "new", Coords: []float64{7, 0}})
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for _, ev := range f.History() {
+		if ev.Kind == "evict" && ev.ID != "near" {
+			t.Errorf("evicted %q, want near", ev.ID)
+		}
+	}
+	evicted := false
+	for _, ev := range f.History() {
+		if ev.Kind == "evict" {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Error("no eviction recorded")
+	}
+}
+
+func TestFPSLenAndSelected(t *testing.T) {
+	f := fp2(t, 0)
+	for i := 0; i < 5; i++ {
+		f.Add(Point{ID: fmt.Sprintf("p%d", i), Coords: []float64{float64(i), 0}})
+	}
+	if f.Len() != 5 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	sel := f.Select(2)
+	if f.Len() != 3 || len(f.Selected()) != 2 {
+		t.Errorf("after select: Len=%d selected=%d", f.Len(), len(f.Selected()))
+	}
+	if !reflect.DeepEqual(f.Selected(), sel) {
+		t.Error("Selected() disagrees with Select() return")
+	}
+}
+
+func TestFPSSelectMoreThanAvailable(t *testing.T) {
+	f := fp2(t, 0)
+	f.Add(Point{ID: "only", Coords: []float64{1, 1}})
+	got := f.Select(10)
+	if len(got) != 1 {
+		t.Errorf("Select(10) with 1 candidate = %d", len(got))
+	}
+	if got2 := f.Select(1); len(got2) != 0 {
+		t.Errorf("Select on empty = %v", got2)
+	}
+}
+
+func TestFPSHistoryJournal(t *testing.T) {
+	f := fp2(t, 0)
+	f.Add(Point{ID: "a", Coords: []float64{0, 0}})
+	f.Add(Point{ID: "b", Coords: []float64{1, 1}})
+	f.Select(1)
+	h := f.History()
+	if len(h) != 3 {
+		t.Fatalf("history = %v", h)
+	}
+	if h[0].Kind != "add" || h[2].Kind != "select" {
+		t.Errorf("history kinds = %v", h)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Seq <= h[i-1].Seq {
+			t.Error("journal sequence not increasing")
+		}
+	}
+}
+
+func TestFPSCheckpointRestoreReplaysIdentically(t *testing.T) {
+	// Resilience (§4.4): after restore, future selections must match those
+	// the original would have made.
+	mk := func() *FarthestPoint {
+		f := fp2(t, 0)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 40; i++ {
+			f.Add(Point{ID: fmt.Sprintf("p%02d", i), Coords: []float64{rng.Float64() * 10, rng.Float64() * 10}})
+		}
+		f.Select(5)
+		return f
+	}
+	orig := mk()
+	ckpt, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreFarthestPoint(2, 0, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), orig.Len())
+	}
+	if len(restored.History()) != len(orig.History()) {
+		t.Error("history length changed across restore")
+	}
+	a, b := orig.Select(10), restored.Select(10)
+	aIDs, bIDs := idsOf(a), idsOf(b)
+	if !reflect.DeepEqual(aIDs, bIDs) {
+		t.Errorf("post-restore selections diverge:\n%v\n%v", aIDs, bIDs)
+	}
+}
+
+func TestRestoreRejectsCorruptAndWrongKind(t *testing.T) {
+	if _, err := RestoreFarthestPoint(2, 0, []byte("not json")); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	b, _ := NewBinned([]BinDim{{0, 1, 4}}, 1, 1)
+	ck, _ := b.Checkpoint()
+	if _, err := RestoreFarthestPoint(2, 0, ck); err == nil {
+		t.Error("binned checkpoint accepted by FPS restore")
+	}
+}
+
+func TestPropertyFPSCacheEqualsRecompute(t *testing.T) {
+	// The incremental rank cache must agree exactly with a from-scratch
+	// recomputation — the correctness core of the caching scheme.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fp := NewFarthestPoint(3, 0)
+		var all []Point
+		for i := 0; i < 30; i++ {
+			p := Point{ID: fmt.Sprintf("p%02d", i), Coords: []float64{rng.Float64(), rng.Float64(), rng.Float64()}}
+			all = append(all, p)
+			fp.Add(p)
+		}
+		// Interleave selects and adds.
+		var selected []Point
+		selected = append(selected, fp.Select(3)...)
+		for i := 30; i < 40; i++ {
+			p := Point{ID: fmt.Sprintf("p%02d", i), Coords: []float64{rng.Float64(), rng.Float64(), rng.Float64()}}
+			all = append(all, p)
+			fp.Add(p)
+		}
+		selected = append(selected, fp.Select(2)...)
+		fp.Update()
+		// Recompute each remaining candidate's distance from scratch and
+		// compare with the cached value.
+		fp.mu.Lock()
+		defer fp.mu.Unlock()
+		for _, c := range fp.cands {
+			want := math.Inf(1)
+			for _, s := range selected {
+				d := 0.0
+				for k := range s.Coords {
+					dd := s.Coords[k] - c.p.Coords[k]
+					d += dd * dd
+				}
+				if d := math.Sqrt(d); d < want {
+					want = d
+				}
+			}
+			if math.Abs(c.dist-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueSetRoutesAndRoundRobins(t *testing.T) {
+	qs := NewQueueSet(2, 0)
+	// Two protein-configuration queues, as in the paper's five-queue setup.
+	for i := 0; i < 5; i++ {
+		qs.Add("ras-only", Point{ID: fmt.Sprintf("a%d", i), Coords: []float64{float64(i), 0}})
+		qs.Add("ras-raf", Point{ID: fmt.Sprintf("b%d", i), Coords: []float64{float64(i), 5}})
+	}
+	if qs.Len() != 10 {
+		t.Errorf("Len = %d", qs.Len())
+	}
+	if got := qs.Queues(); !reflect.DeepEqual(got, []string{"ras-only", "ras-raf"}) {
+		t.Errorf("Queues = %v", got)
+	}
+	sel := qs.Select(4)
+	if len(sel) != 4 {
+		t.Fatalf("Select(4) = %d", len(sel))
+	}
+	// Round-robin: alternating queues.
+	fromA := 0
+	for _, p := range sel {
+		if p.ID[0] == 'a' {
+			fromA++
+		}
+	}
+	if fromA != 2 {
+		t.Errorf("round-robin picked %d from queue A, want 2", fromA)
+	}
+	if got := qs.SelectFrom("ras-only", 100); len(got) != 3 {
+		t.Errorf("SelectFrom drained %d, want 3 remaining", len(got))
+	}
+	if got := qs.SelectFrom("missing", 1); got != nil {
+		t.Errorf("SelectFrom(missing) = %v", got)
+	}
+}
+
+func TestQueueSetExhaustsGracefully(t *testing.T) {
+	qs := NewQueueSet(1, 0)
+	qs.Add("q", Point{ID: "only", Coords: []float64{1}})
+	got := qs.Select(5)
+	if len(got) != 1 {
+		t.Errorf("Select past exhaustion = %d", len(got))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Binned sampler
+
+func dims3() []BinDim {
+	return []BinDim{{0, 10, 5}, {0, 1, 4}, {-5, 5, 10}}
+}
+
+func TestBinnedValidation(t *testing.T) {
+	if _, err := NewBinned(nil, 0.5, 1); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := NewBinned([]BinDim{{0, 0, 4}}, 0.5, 1); err == nil {
+		t.Error("hi<=lo accepted")
+	}
+	if _, err := NewBinned([]BinDim{{0, 1, 0}}, 0.5, 1); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewBinned(dims3(), 1.5, 1); err == nil {
+		t.Error("balance > 1 accepted")
+	}
+}
+
+func TestBinnedPureImportancePicksSparseBin(t *testing.T) {
+	b, err := NewBinned([]BinDim{{0, 10, 10}}, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crowd bin 0 with 50 candidates, put one candidate in bin 9.
+	for i := 0; i < 50; i++ {
+		b.Add(Point{ID: fmt.Sprintf("crowd%02d", i), Coords: []float64{0.5}})
+	}
+	b.Add(Point{ID: "rare", Coords: []float64{9.5}})
+	got := b.Select(1)
+	if got[0].ID != "rare" {
+		t.Errorf("pure importance selected %q, want rare", got[0].ID)
+	}
+}
+
+func TestBinnedBalanceZeroIsUniform(t *testing.T) {
+	b, err := NewBinned([]BinDim{{0, 10, 10}}, 0.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 in bin 0, 10 in bin 9: pure random must select mostly from bin 0.
+	for i := 0; i < 90; i++ {
+		b.Add(Point{ID: fmt.Sprintf("a%02d", i), Coords: []float64{0.5}})
+	}
+	for i := 0; i < 10; i++ {
+		b.Add(Point{ID: fmt.Sprintf("b%02d", i), Coords: []float64{9.5}})
+	}
+	fromA := 0
+	for _, p := range b.Select(50) {
+		if p.ID[0] == 'a' {
+			fromA++
+		}
+	}
+	if fromA < 35 { // E[fromA] ≈ 45 under uniformity; <35 is ~4σ off
+		t.Errorf("uniform selection drew only %d/50 from the 90%% bin", fromA)
+	}
+}
+
+func TestBinnedSelectRemovesAndExhausts(t *testing.T) {
+	b, _ := NewBinned(dims3(), 0.7, 3)
+	for i := 0; i < 8; i++ {
+		b.Add(Point{ID: fmt.Sprintf("f%d", i), Coords: []float64{float64(i), 0.5, 0}})
+	}
+	got := b.Select(20)
+	if len(got) != 8 || b.Len() != 0 {
+		t.Errorf("Select = %d, Len = %d", len(got), b.Len())
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Errorf("duplicate selection %q", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if more := b.Select(1); len(more) != 0 {
+		t.Errorf("Select on empty = %v", more)
+	}
+}
+
+func TestBinnedOccupancyCountsAllOffered(t *testing.T) {
+	b, _ := NewBinned([]BinDim{{0, 10, 10}}, 1, 1)
+	for i := 0; i < 5; i++ {
+		b.Add(Point{ID: fmt.Sprintf("p%d", i), Coords: []float64{3.5}})
+	}
+	b.Select(2)
+	// Occupancy is density-of-seen, not density-of-queued: still 5.
+	if occ := b.Occupancy([]float64{3.5}); occ != 5 {
+		t.Errorf("Occupancy = %d, want 5", occ)
+	}
+}
+
+func TestBinnedOutOfRangeClamps(t *testing.T) {
+	b, _ := NewBinned([]BinDim{{0, 10, 10}}, 1, 1)
+	if err := b.Add(Point{ID: "low", Coords: []float64{-99}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Point{ID: "high", Coords: []float64{+99}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Occupancy([]float64{-99}) != 1 || b.Occupancy([]float64{99}) != 1 {
+		t.Error("clamped bins not counted")
+	}
+}
+
+func TestBinnedDimMismatchAndDuplicates(t *testing.T) {
+	b, _ := NewBinned(dims3(), 1, 1)
+	if err := b.Add(Point{ID: "bad", Coords: []float64{1}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	b.Add(Point{ID: "dup", Coords: []float64{1, 0.5, 0}})
+	b.Add(Point{ID: "dup", Coords: []float64{2, 0.5, 0}})
+	if b.Len() != 1 {
+		t.Errorf("Len after duplicate = %d", b.Len())
+	}
+}
+
+func TestBinnedDeterministicWithSeed(t *testing.T) {
+	run := func() []string {
+		b, _ := NewBinned(dims3(), 0.5, 99)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 50; i++ {
+			b.Add(Point{ID: fmt.Sprintf("f%02d", i),
+				Coords: []float64{rng.Float64() * 10, rng.Float64(), rng.Float64()*10 - 5}})
+		}
+		return idsOf(b.Select(20))
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different selections")
+	}
+}
+
+func TestBinnedCheckpointRestore(t *testing.T) {
+	b, _ := NewBinned(dims3(), 1.0, 4)
+	for i := 0; i < 10; i++ {
+		b.Add(Point{ID: fmt.Sprintf("f%d", i), Coords: []float64{float64(i), 0.2, 0}})
+	}
+	b.Select(3)
+	ck, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreBinned(dims3(), 1.0, 4, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != b.Len() {
+		t.Errorf("restored Len = %d, want %d", r.Len(), b.Len())
+	}
+	if len(r.History()) != len(b.History()) {
+		t.Error("history not preserved")
+	}
+	// Pure-importance selection over restored state must return valid,
+	// non-duplicate candidates.
+	got := r.Select(r.Len())
+	seen := map[string]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Errorf("duplicate %q after restore", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestPropertyBinnedConservation(t *testing.T) {
+	// Every added point is eventually selected exactly once; none invented.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBinned([]BinDim{{0, 1, 7}, {0, 1, 7}}, rng.Float64(), seed)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(60)
+		want := map[string]bool{}
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("p%03d", i)
+			want[id] = true
+			b.Add(Point{ID: id, Coords: []float64{rng.Float64(), rng.Float64()}})
+		}
+		got := map[string]bool{}
+		for {
+			sel := b.Select(7)
+			if len(sel) == 0 {
+				break
+			}
+			for _, p := range sel {
+				if got[p.ID] {
+					return false // duplicate
+				}
+				got[p.ID] = true
+			}
+		}
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func idsOf(ps []Point) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.ID
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package dynim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mummi/internal/knn"
+)
+
+// FarthestPoint ranks candidates by their L2 distance to the nearest
+// already-selected point and selects the farthest — dynamic-importance
+// sampling as used by the paper's Patch Selector over 9-D ML encodings.
+//
+// Rank caching: a candidate's distance-to-selected can only shrink as new
+// selections are made, so each candidate caches its distance together with
+// the number of selected points it has been compared against; Update only
+// compares against selections made since. This is what makes Add O(1) and
+// keeps "the cost of adding new candidates negligible" (§4.4).
+//
+// The queue is capped (35,000 in the paper's patch queues); beyond the cap
+// the lowest-ranked (least novel) candidate is evicted.
+type FarthestPoint struct {
+	mu sync.Mutex
+
+	dim      int
+	capacity int
+
+	cands   []*fpCand
+	byID    map[string]*fpCand
+	sel     *knn.Brute // selected coordinates, append-only
+	selPts  []Point
+	journal journal
+	dd      dedupe
+}
+
+type fpCand struct {
+	p       Point
+	dist    float64 // cached min distance to selected[0:seenSel]
+	seenSel int
+}
+
+// NewFarthestPoint creates a sampler for dim-dimensional points with the
+// given queue capacity (0 means unbounded).
+func NewFarthestPoint(dim, capacity int) *FarthestPoint {
+	if dim < 1 {
+		panic(fmt.Sprintf("dynim: invalid dimension %d", dim))
+	}
+	return &FarthestPoint{
+		dim:      dim,
+		capacity: capacity,
+		byID:     make(map[string]*fpCand),
+		sel:      knn.NewBrute(dim),
+		dd:       newDedupe(),
+	}
+}
+
+// Add implements Selector. Duplicate IDs (already queued or selected) are
+// ignored without error, so producers may safely re-offer after restarts.
+func (f *FarthestPoint) Add(p Point) error {
+	if len(p.Coords) != f.dim {
+		return fmt.Errorf("dynim: point %q has dim %d, sampler dim %d", p.ID, len(p.Coords), f.dim)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.dd.claim(p.ID) {
+		return nil
+	}
+	c := &fpCand{p: p, dist: math.Inf(1)}
+	f.cands = append(f.cands, c)
+	f.byID[p.ID] = c
+	f.journal.record("add", p.ID)
+	if f.capacity > 0 && len(f.cands) > f.capacity {
+		// Evict in amortized batches: a single-victim scan per add would be
+		// O(queue) for every candidate past the cap, which the campaign's
+		// millions of patch offers cannot afford. The queue is allowed a
+		// small slack, then trimmed back to capacity in one pass.
+		slack := f.capacity / 16
+		if slack < 1 {
+			slack = 1
+		}
+		if len(f.cands) >= f.capacity+slack {
+			f.evictDownTo(f.capacity)
+		}
+	}
+	return nil
+}
+
+// evictDownTo drops the lowest-ranked (least novel) candidates until only
+// target remain; ties break by ID for determinism. Caller holds the lock.
+func (f *FarthestPoint) evictDownTo(target int) {
+	sort.Slice(f.cands, func(i, j int) bool {
+		if f.cands[i].dist != f.cands[j].dist {
+			return f.cands[i].dist > f.cands[j].dist // most novel first
+		}
+		return f.cands[i].p.ID > f.cands[j].p.ID
+	})
+	for _, victim := range f.cands[target:] {
+		delete(f.byID, victim.p.ID)
+		f.dd.release(victim.p.ID)
+		f.journal.record("evict", victim.p.ID)
+	}
+	f.cands = f.cands[:target]
+}
+
+// Update implements Selector: refresh every candidate's cached distance
+// against selections made since its last refresh.
+func (f *FarthestPoint) Update() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.updateLocked()
+}
+
+func (f *FarthestPoint) updateLocked() {
+	n := f.sel.Len()
+	for _, c := range f.cands {
+		if c.seenSel < n {
+			d := f.sel.NearestAmong(c.p.Coords, c.seenSel, n)
+			if d < c.dist {
+				c.dist = d
+			}
+			c.seenSel = n
+		}
+	}
+}
+
+// Select implements Selector: refresh ranks, then repeatedly take the
+// farthest candidate, fold it into the selected set, and re-rank against it.
+func (f *FarthestPoint) Select(n int) []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Point
+	for len(out) < n && len(f.cands) > 0 {
+		f.updateLocked()
+		best := 0
+		for i, c := range f.cands {
+			if c.dist > f.cands[best].dist ||
+				(c.dist == f.cands[best].dist && c.p.ID < f.cands[best].p.ID) {
+				best = i
+			}
+		}
+		chosen := f.cands[best]
+		f.cands[best] = f.cands[len(f.cands)-1]
+		f.cands = f.cands[:len(f.cands)-1]
+		delete(f.byID, chosen.p.ID)
+		f.sel.Add(chosen.p.Coords)
+		f.selPts = append(f.selPts, chosen.p)
+		f.journal.record("select", chosen.p.ID)
+		out = append(out, chosen.p)
+	}
+	return out
+}
+
+// DisableJournal stops event recording (campaign-scale memory bound);
+// History returns only events recorded before the call.
+func (f *FarthestPoint) DisableJournal() {
+	f.mu.Lock()
+	f.journal.disabled = true
+	f.mu.Unlock()
+}
+
+// Len implements Selector.
+func (f *FarthestPoint) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cands)
+}
+
+// Selected returns the points selected so far, in selection order.
+func (f *FarthestPoint) Selected() []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Point(nil), f.selPts...)
+}
+
+// History implements Selector.
+func (f *FarthestPoint) History() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.journal.history()
+}
+
+// Checkpoint serializes the sampler's full state.
+func (f *FarthestPoint) Checkpoint() ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := snapshot{Kind: "fps", Selected: f.selPts, Events: f.journal.events, Seq: f.journal.seq}
+	for _, c := range f.cands {
+		s.Candidates = append(s.Candidates, c.p)
+	}
+	return marshalSnapshot(s)
+}
+
+// RestoreFarthestPoint reconstructs a sampler from a Checkpoint. Cached
+// ranks are rebuilt lazily, so a restore is cheap and the next Select pays
+// one full refresh — the same cost profile as the paper's restart path.
+func RestoreFarthestPoint(dim, capacity int, ckpt []byte) (*FarthestPoint, error) {
+	s, err := unmarshalSnapshot(ckpt, "fps")
+	if err != nil {
+		return nil, err
+	}
+	f := NewFarthestPoint(dim, capacity)
+	for _, p := range s.Selected {
+		if len(p.Coords) != dim {
+			return nil, fmt.Errorf("dynim: checkpoint point %q has dim %d", p.ID, len(p.Coords))
+		}
+		f.dd.claim(p.ID)
+		f.sel.Add(p.Coords)
+		f.selPts = append(f.selPts, p)
+	}
+	for _, p := range s.Candidates {
+		if len(p.Coords) != dim {
+			return nil, fmt.Errorf("dynim: checkpoint point %q has dim %d", p.ID, len(p.Coords))
+		}
+		f.dd.claim(p.ID)
+		c := &fpCand{p: p, dist: math.Inf(1)}
+		f.cands = append(f.cands, c)
+		f.byID[p.ID] = c
+	}
+	f.journal.events = s.Events
+	f.journal.seq = s.Seq
+	return f, nil
+}
+
+// QueueSet groups several independently-capped FarthestPoint queues, as the
+// paper's Patch Selector does with five in-memory queues keyed by protein
+// configuration. Selection can target one queue or round-robin across all.
+type QueueSet struct {
+	mu        sync.Mutex
+	dim       int
+	cap       int
+	queues    map[string]*FarthestPoint
+	order     []string
+	noJournal bool
+}
+
+// NewQueueSet creates an empty set whose queues share dim and capacity.
+func NewQueueSet(dim, capacity int) *QueueSet {
+	return &QueueSet{dim: dim, cap: capacity, queues: make(map[string]*FarthestPoint)}
+}
+
+// Add routes a candidate to the named queue, creating it on first use.
+func (q *QueueSet) Add(queue string, p Point) error {
+	q.mu.Lock()
+	fp, ok := q.queues[queue]
+	if !ok {
+		fp = NewFarthestPoint(q.dim, q.cap)
+		if q.noJournal {
+			fp.DisableJournal()
+		}
+		q.queues[queue] = fp
+		q.order = append(q.order, queue)
+		sort.Strings(q.order)
+	}
+	q.mu.Unlock()
+	return fp.Add(p)
+}
+
+// SelectFrom selects from one queue.
+func (q *QueueSet) SelectFrom(queue string, n int) []Point {
+	q.mu.Lock()
+	fp := q.queues[queue]
+	q.mu.Unlock()
+	if fp == nil {
+		return nil
+	}
+	return fp.Select(n)
+}
+
+// Select round-robins one selection at a time across the queues (sorted by
+// name for determinism) until n points are gathered or all queues drain.
+func (q *QueueSet) Select(n int) []Point {
+	q.mu.Lock()
+	order := append([]string(nil), q.order...)
+	q.mu.Unlock()
+	var out []Point
+	for len(out) < n {
+		progress := false
+		for _, name := range order {
+			if len(out) >= n {
+				break
+			}
+			q.mu.Lock()
+			fp := q.queues[name]
+			q.mu.Unlock()
+			got := fp.Select(1)
+			if len(got) > 0 {
+				out = append(out, got...)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+// Len sums candidates across queues.
+func (q *QueueSet) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for _, fp := range q.queues {
+		total += fp.Len()
+	}
+	return total
+}
+
+// Queues returns the queue names, sorted.
+func (q *QueueSet) Queues() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]string(nil), q.order...)
+}
+
+// DisableJournal turns off journaling in all current and future queues.
+func (q *QueueSet) DisableJournal() {
+	q.mu.Lock()
+	q.noJournal = true
+	for _, fp := range q.queues {
+		fp.DisableJournal()
+	}
+	q.mu.Unlock()
+}
+
+// AsSelector adapts the QueueSet to the Selector interface: route picks the
+// queue for each added point (the paper routes patches by protein
+// configuration), Select round-robins across queues.
+func (q *QueueSet) AsSelector(route func(Point) string) Selector {
+	return queueSelector{qs: q, route: route}
+}
+
+type queueSelector struct {
+	qs    *QueueSet
+	route func(Point) string
+}
+
+func (s queueSelector) Add(p Point) error { return s.qs.Add(s.route(p), p) }
+
+func (s queueSelector) Select(n int) []Point { return s.qs.Select(n) }
+
+func (s queueSelector) Update() {
+	s.qs.mu.Lock()
+	queues := make([]*FarthestPoint, 0, len(s.qs.queues))
+	for _, fp := range s.qs.queues {
+		queues = append(queues, fp)
+	}
+	s.qs.mu.Unlock()
+	for _, fp := range queues {
+		fp.Update()
+	}
+}
+
+func (s queueSelector) Len() int { return s.qs.Len() }
+
+// History merges the per-queue journals in sequence order within each
+// queue; cross-queue ordering is by queue name.
+func (s queueSelector) History() []Event {
+	s.qs.mu.Lock()
+	order := append([]string(nil), s.qs.order...)
+	s.qs.mu.Unlock()
+	var out []Event
+	for _, name := range order {
+		s.qs.mu.Lock()
+		fp := s.qs.queues[name]
+		s.qs.mu.Unlock()
+		out = append(out, fp.History()...)
+	}
+	return out
+}

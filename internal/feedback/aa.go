@@ -1,0 +1,198 @@
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mummi/internal/datastore"
+	"mummi/internal/sim"
+)
+
+// AAConfig assembles the AA→CG feedback loop.
+type AAConfig struct {
+	Store  datastore.Store
+	NewNS  string
+	DoneNS string
+	// Workers is the processing pool size ("suitable process pools ...
+	// allowed bounding the processing time to within the target time
+	// limit").
+	Workers int
+	// Process is the per-frame external-module call (the paper shells out
+	// twice per frame, ~2 s in isolation). It returns the frame's refined
+	// secondary structure. Nil defaults to using the frame's own analysis.
+	Process func(*sim.AAFrame) (string, error)
+	// Eligible filters frames before processing (the paper: "AA frames are
+	// further filtered for eligibility for feedback"). Nil accepts all.
+	Eligible func(*sim.AAFrame) bool
+	// Apply receives the consensus secondary structure and a monotonically
+	// increasing parameter version — the progressive refinement of the CG
+	// protein force field.
+	Apply func(consensus string, version int) error
+}
+
+// AAToCG computes the most common secondary-structure pattern across AA
+// frames and promotes it to the CG model.
+type AAToCG struct {
+	cfg AAConfig
+
+	mu      sync.Mutex
+	version int
+	frames  int64
+}
+
+// NewAAToCG validates the configuration.
+func NewAAToCG(cfg AAConfig) (*AAToCG, error) {
+	if cfg.Store == nil || cfg.NewNS == "" || cfg.DoneNS == "" || cfg.NewNS == cfg.DoneNS {
+		return nil, errors.New("feedback: AA config needs a store and distinct namespaces")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &AAToCG{cfg: cfg}, nil
+}
+
+// Name implements Manager.
+func (f *AAToCG) Name() string { return "aa-to-cg" }
+
+// Version returns the current CG parameter version.
+func (f *AAToCG) Version() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.version
+}
+
+// TotalFrames returns the cumulative frames processed.
+func (f *AAToCG) TotalFrames() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frames
+}
+
+// Iterate implements Manager: fetch all new frames, process them through
+// the worker pool, derive the consensus, apply it, and tag the frames.
+func (f *AAToCG) Iterate() (Report, error) {
+	var rep Report
+	t0 := time.Now()
+	keys, err := f.cfg.Store.Keys(f.cfg.NewNS)
+	if err != nil {
+		return rep, fmt.Errorf("feedback: scan: %w", err)
+	}
+	sort.Strings(keys)
+	rep.Scan = time.Since(t0)
+
+	t1 := time.Now()
+	values, fetched, err := fetchAll(f.cfg.Store, f.cfg.NewNS, keys)
+	if err != nil {
+		return rep, err
+	}
+	var frames []*sim.AAFrame
+	for _, v := range values {
+		fr, err := sim.UnmarshalAAFrame(v)
+		if err != nil {
+			continue // torn frame: tag it away without processing
+		}
+		if f.cfg.Eligible != nil && !f.cfg.Eligible(fr) {
+			continue
+		}
+		frames = append(frames, fr)
+	}
+	rep.Fetch = time.Since(t1)
+
+	t2 := time.Now()
+	processed := make([]*sim.AAFrame, 0, len(frames))
+	if len(frames) > 0 {
+		results := make([]string, len(frames))
+		errsCh := make(chan error, len(frames))
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < f.cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					if f.cfg.Process == nil {
+						results[i] = frames[i].SecStruct
+						continue
+					}
+					ss, err := f.cfg.Process(frames[i])
+					if err != nil {
+						errsCh <- fmt.Errorf("feedback: process %s: %w", frames[i].ID(), err)
+						results[i] = ""
+						continue
+					}
+					results[i] = ss
+				}
+			}()
+		}
+		for i := range frames {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(errsCh)
+		// A failed external call drops that frame; the iteration proceeds
+		// (the paper tolerates per-frame failures, rerunning if needed).
+		for i, fr := range frames {
+			if results[i] != "" {
+				fr.SecStruct = results[i]
+				processed = append(processed, fr)
+			}
+		}
+	}
+	if len(processed) > 0 {
+		consensus, err := sim.ConsensusSecStruct(processed)
+		if err != nil {
+			return rep, err
+		}
+		f.mu.Lock()
+		f.version++
+		f.frames += int64(len(processed))
+		v := f.version
+		f.mu.Unlock()
+		rep.Frames = len(processed)
+		if f.cfg.Apply != nil {
+			if err := f.cfg.Apply(consensus, v); err != nil {
+				return rep, fmt.Errorf("feedback: apply: %w", err)
+			}
+		}
+	}
+	rep.Process = time.Since(t2)
+
+	t3 := time.Now()
+	if err := tagAll(f.cfg.Store, f.cfg.NewNS, fetched, f.cfg.DoneNS); err != nil {
+		return rep, err
+	}
+	rep.Tag = time.Since(t3)
+	return rep, nil
+}
+
+// SimulatePoolTime computes how long a worker pool takes to drain per-frame
+// costs under FIFO list scheduling — the deterministic model the Fig. 8
+// generator uses to replay AA-feedback iterations in virtual time (the pool
+// above behaves identically for uniform costs).
+func SimulatePoolTime(costs []time.Duration, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	busy := make([]time.Duration, workers)
+	for _, c := range costs {
+		// Assign to the earliest-free worker (FIFO pull from a channel).
+		best := 0
+		for w := 1; w < workers; w++ {
+			if busy[w] < busy[best] {
+				best = w
+			}
+		}
+		busy[best] += c
+	}
+	var max time.Duration
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,57 @@
+package feedback
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strings"
+
+	"mummi/internal/sim"
+)
+
+// ExecProcessor returns an AA-frame processor that shells out to an
+// external module, as the paper's AA→CG feedback does ("processing each
+// frame needs two system calls to an external module, taking ~2 s in
+// isolation"). The frame is serialized to the subprocess's stdin as JSON;
+// the subprocess prints the refined per-residue secondary-structure string
+// on stdout. Spawn overhead ("the OS needing to spawn a new process and
+// loading the required Python modules") is paid per call, exactly as in the
+// paper — which is why AAConfig.Workers pools these calls.
+func ExecProcessor(name string, args ...string) func(*sim.AAFrame) (string, error) {
+	return func(f *sim.AAFrame) (string, error) {
+		in, err := f.Marshal()
+		if err != nil {
+			return "", err
+		}
+		cmd := exec.Command(name, args...)
+		cmd.Stdin = bytes.NewReader(in)
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return "", fmt.Errorf("feedback: external module %s: %w (stderr: %.200s)",
+				name, err, errb.String())
+		}
+		ss := strings.TrimSpace(out.String())
+		if err := validateSS(ss); err != nil {
+			return "", fmt.Errorf("feedback: external module %s: %w", name, err)
+		}
+		return ss, nil
+	}
+}
+
+// validateSS checks an external module's output is a plausible secondary-
+// structure string before it can poison the consensus.
+func validateSS(ss string) error {
+	if ss == "" {
+		return fmt.Errorf("empty secondary structure")
+	}
+	for i := 0; i < len(ss); i++ {
+		switch ss[i] {
+		case sim.Helix, sim.Sheet, sim.Coil:
+		default:
+			return fmt.Errorf("invalid structure code %q at residue %d", ss[i], i)
+		}
+	}
+	return nil
+}

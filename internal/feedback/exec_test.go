@@ -1,0 +1,137 @@
+package feedback
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mummi/internal/datastore"
+	"mummi/internal/sim"
+)
+
+// shOrSkip skips the test when no POSIX shell is available.
+func shOrSkip(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("no sh available")
+	}
+}
+
+// writeModule writes an executable shell script standing in for the paper's
+// external analysis module.
+func writeModule(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "module.sh")
+	script := "#!/bin/sh\n" + body + "\n"
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExecProcessorHappyPath(t *testing.T) {
+	shOrSkip(t)
+	want := strings.Repeat("HEC", sim.SecStructResidues/3)
+	mod := writeModule(t, fmt.Sprintf(`cat > /dev/null; printf '%s\n'`, want))
+	proc := ExecProcessor(mod)
+	g := sim.NewAASim("x", 1)
+	got, err := proc(g.NextFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("processor returned %q", got)
+	}
+}
+
+func TestExecProcessorReceivesFrameOnStdin(t *testing.T) {
+	shOrSkip(t)
+	// The module greps its stdin for the frame's sim id and emits a
+	// structure whose first residue encodes whether it saw it.
+	mod := writeModule(t,
+		`if grep -q "stdin-check" >/dev/null 2>&1; then printf 'H'; else printf 'C'; fi; `+
+			fmt.Sprintf(`i=1; while [ $i -lt %d ]; do printf 'C'; i=$((i+1)); done`, sim.SecStructResidues))
+	proc := ExecProcessor(mod)
+	g := sim.NewAASim("stdin-check", 1)
+	got, err := proc(g.NextFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'H' {
+		t.Errorf("module did not see the frame on stdin: %q", got[:5])
+	}
+}
+
+func TestExecProcessorFailures(t *testing.T) {
+	shOrSkip(t)
+	g := sim.NewAASim("f", 1)
+
+	// Module crashes.
+	crash := writeModule(t, `cat > /dev/null; echo "boom" >&2; exit 3`)
+	if _, err := ExecProcessor(crash)(g.NextFrame()); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("crash not surfaced with stderr: %v", err)
+	}
+	// Module emits garbage.
+	garbage := writeModule(t, `cat > /dev/null; printf 'not a structure'`)
+	if _, err := ExecProcessor(garbage)(g.NextFrame()); err == nil {
+		t.Error("garbage output accepted")
+	}
+	// Module emits nothing.
+	empty := writeModule(t, `cat > /dev/null`)
+	if _, err := ExecProcessor(empty)(g.NextFrame()); err == nil {
+		t.Error("empty output accepted")
+	}
+	// Module binary missing.
+	if _, err := ExecProcessor("/nonexistent/module")(g.NextFrame()); err == nil {
+		t.Error("missing module accepted")
+	}
+}
+
+func TestExecProcessorThroughAAFeedback(t *testing.T) {
+	shOrSkip(t)
+	// End to end: the AA→CG pipeline drives real subprocesses through its
+	// worker pool, exactly the paper's deployment shape.
+	want := strings.Repeat("E", sim.SecStructResidues)
+	mod := writeModule(t, fmt.Sprintf(`cat > /dev/null; printf '%s'`, want))
+	store := datastore.NewMemory()
+	g := sim.NewAASim("aa", 4)
+	for i := 0; i < 12; i++ {
+		f := g.NextFrame()
+		b, _ := f.Marshal()
+		store.Put("new", f.ID(), b)
+	}
+	var consensus string
+	fb, err := NewAAToCG(AAConfig{
+		Store: store, NewNS: "new", DoneNS: "done", Workers: 4,
+		Process: ExecProcessor(mod),
+		Apply:   func(c string, v int) error { consensus = c; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fb.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 12 {
+		t.Errorf("Frames = %d", rep.Frames)
+	}
+	if consensus != want {
+		t.Errorf("consensus = %.10q..., want all-E", consensus)
+	}
+}
+
+func TestValidateSS(t *testing.T) {
+	if err := validateSS("HECHEC"); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []string{"", "HEX", "hec", "H E"} {
+		if err := validateSS(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

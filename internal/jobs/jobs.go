@@ -1,0 +1,214 @@
+// Package jobs implements the paper's "generic and abstract Job Tracker
+// that can be customized using a combination of inherited classes and
+// configuration files" (§4.3): a registry of job-type specifications —
+// resource shapes, duration models, retry policies, and success criteria —
+// loadable from JSON configuration, from which scheduler requests are
+// minted and failures adjudicated. The campaign's four job types (CG setup,
+// CG simulation/analysis, AA setup, AA simulation/analysis) ship as the
+// default registry; applications define their own the same way.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mummi/internal/sched"
+)
+
+// Spec is one job type's configuration.
+type Spec struct {
+	// Name identifies the job type ("cg-sim").
+	Name string `json:"name"`
+	// Nodes/Cores/GPUs shape the resource request (Cores and GPUs are
+	// per-node).
+	Nodes int `json:"nodes,omitempty"`
+	Cores int `json:"cores"`
+	GPUs  int `json:"gpus,omitempty"`
+	// MeanDuration is the expected runtime; zero means run-until-completed.
+	MeanDuration Duration `json:"duration,omitempty"`
+	// DurationJitter is the lognormal sigma applied to MeanDuration
+	// (0 = deterministic).
+	DurationJitter float64 `json:"jitter,omitempty"`
+	// MaxRetries bounds automatic resubmission of failed jobs
+	// (-1 = unlimited, the campaign default for simulations).
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// Duration marshals as a Go duration string ("90m") in JSON configuration.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("jobs: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Validate reports specification errors.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("jobs: spec without a name")
+	}
+	if s.Cores < 0 || s.GPUs < 0 || s.Nodes < 0 {
+		return fmt.Errorf("jobs: %s: negative resources", s.Name)
+	}
+	if s.Cores == 0 && s.GPUs == 0 {
+		return fmt.Errorf("jobs: %s: requests no resources", s.Name)
+	}
+	if s.DurationJitter < 0 || s.DurationJitter > 2 {
+		return fmt.Errorf("jobs: %s: jitter %v outside [0, 2]", s.Name, s.DurationJitter)
+	}
+	if s.MaxRetries < -1 {
+		return fmt.Errorf("jobs: %s: MaxRetries %d", s.Name, s.MaxRetries)
+	}
+	return nil
+}
+
+// Request mints a scheduler request (without a duration; see Sample).
+func (s Spec) Request() sched.Request {
+	return sched.Request{Name: s.Name, NodeCount: s.Nodes, Cores: s.Cores, GPUs: s.GPUs}
+}
+
+// Sample mints a request with a duration drawn from the spec's model.
+func (s Spec) Sample(rng *rand.Rand) sched.Request {
+	req := s.Request()
+	if s.MeanDuration > 0 {
+		f := 1.0
+		if s.DurationJitter > 0 {
+			f = math.Exp(rng.NormFloat64() * s.DurationJitter)
+			if f < 0.25 {
+				f = 0.25
+			}
+			if f > 4 {
+				f = 4
+			}
+		}
+		req.Duration = time.Duration(float64(s.MeanDuration) * f)
+	}
+	return req
+}
+
+// ShouldRetry reports whether a job of this type should be resubmitted
+// after its attempts-th failure.
+func (s Spec) ShouldRetry(attempts int) bool {
+	return s.MaxRetries == -1 || attempts <= s.MaxRetries
+}
+
+// Registry maps job-type names to specifications.
+type Registry struct {
+	specs map[string]Spec
+}
+
+// NewRegistry builds a registry from specs.
+func NewRegistry(specs ...Spec) (*Registry, error) {
+	r := &Registry{specs: make(map[string]Spec, len(specs))}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := r.specs[s.Name]; dup {
+			return nil, fmt.Errorf("jobs: duplicate spec %q", s.Name)
+		}
+		r.specs[s.Name] = s
+	}
+	return r, nil
+}
+
+// LoadRegistry parses a JSON array of specs — the "configuration files"
+// half of the paper's customization story.
+func LoadRegistry(data []byte) (*Registry, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("jobs: parsing registry: %w", err)
+	}
+	return NewRegistry(specs...)
+}
+
+// Get returns a spec by name.
+func (r *Registry) Get(name string) (Spec, bool) {
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Names returns the registered job types, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Marshal serializes the registry back to JSON configuration.
+func (r *Registry) Marshal() ([]byte, error) {
+	specs := make([]Spec, 0, len(r.specs))
+	for _, n := range r.Names() {
+		specs = append(specs, r.specs[n])
+	}
+	return json.MarshalIndent(specs, "", "  ")
+}
+
+// Summit returns the campaign's four job types with the paper's shapes:
+// setup jobs on 24 cores, simulations on one GPU plus analysis cores,
+// unlimited simulation retries (the tracker "submits new jobs (or
+// resubmits failed ones)").
+func Summit() *Registry {
+	r, err := NewRegistry(
+		Spec{Name: "createsim", Cores: 24, MeanDuration: Duration(90 * time.Minute),
+			DurationJitter: 0.18, MaxRetries: 3},
+		Spec{Name: "cg-sim", Cores: 3, GPUs: 1, MaxRetries: -1},
+		Spec{Name: "backmap", Cores: 24, MeanDuration: Duration(2 * time.Hour),
+			DurationJitter: 0.18, MaxRetries: 3},
+		Spec{Name: "aa-sim", Cores: 3, GPUs: 1, MaxRetries: -1},
+		Spec{Name: "continuum", Nodes: 150, Cores: 24, MaxRetries: -1},
+	)
+	if err != nil {
+		panic(err) // static registry; cannot fail
+	}
+	return r
+}
+
+// Tracker counts per-job attempts and applies a spec's retry policy — the
+// runtime half of the Job Tracker.
+type Tracker struct {
+	spec     Spec
+	attempts map[string]int
+}
+
+// NewTracker builds a tracker for one job type.
+func NewTracker(spec Spec) *Tracker {
+	return &Tracker{spec: spec, attempts: make(map[string]int)}
+}
+
+// Spec returns the tracked specification.
+func (t *Tracker) Spec() Spec { return t.spec }
+
+// RecordFailure notes one failure of the identified work item and reports
+// whether it should be resubmitted.
+func (t *Tracker) RecordFailure(id string) bool {
+	t.attempts[id]++
+	return t.spec.ShouldRetry(t.attempts[id])
+}
+
+// RecordSuccess clears the item's failure history.
+func (t *Tracker) RecordSuccess(id string) { delete(t.attempts, id) }
+
+// Attempts returns how many failures the item has accumulated.
+func (t *Tracker) Attempts(id string) int { return t.attempts[id] }

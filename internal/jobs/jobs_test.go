@@ -1,0 +1,173 @@
+package jobs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Cores: 1},                               // no name
+		{Name: "x"},                              // no resources
+		{Name: "x", Cores: -1},                   // negative
+		{Name: "x", Cores: 1, DurationJitter: 3}, // jitter out of range
+		{Name: "x", Cores: 1, MaxRetries: -2},    // bad retries
+		{Name: "x", Cores: 1, GPUs: -1},          // negative gpus
+		{Name: "x", Cores: 1, Nodes: -1},         // negative nodes
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %d (%+v) accepted", i, s)
+		}
+	}
+	good := Spec{Name: "sim", Cores: 3, GPUs: 1, MaxRetries: -1}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecRequestAndSample(t *testing.T) {
+	s := Spec{Name: "createsim", Cores: 24, MeanDuration: Duration(90 * time.Minute),
+		DurationJitter: 0.18}
+	req := s.Request()
+	if req.Name != "createsim" || req.Cores != 24 || req.Duration != 0 {
+		t.Errorf("Request = %+v", req)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var total time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := s.Sample(rng).Duration
+		if d < 20*time.Minute || d > 7*time.Hour {
+			t.Fatalf("sampled duration %v outside clamp", d)
+		}
+		total += d
+	}
+	mean := total / n
+	if mean < 80*time.Minute || mean > 100*time.Minute {
+		t.Errorf("mean sampled duration = %v, want ~90m", mean)
+	}
+	// Zero jitter is deterministic.
+	det := Spec{Name: "d", Cores: 1, MeanDuration: Duration(time.Hour)}
+	if got := det.Sample(rng).Duration; got != time.Hour {
+		t.Errorf("deterministic sample = %v", got)
+	}
+	// Zero duration stays zero (run-until-completed).
+	open := Spec{Name: "o", Cores: 1, GPUs: 1}
+	if got := open.Sample(rng).Duration; got != 0 {
+		t.Errorf("open-ended sample = %v", got)
+	}
+}
+
+func TestShouldRetry(t *testing.T) {
+	limited := Spec{Name: "setup", Cores: 1, MaxRetries: 2}
+	if !limited.ShouldRetry(1) || !limited.ShouldRetry(2) || limited.ShouldRetry(3) {
+		t.Error("bounded retry policy wrong")
+	}
+	unlimited := Spec{Name: "sim", Cores: 1, MaxRetries: -1}
+	if !unlimited.ShouldRetry(1000) {
+		t.Error("unlimited retry policy wrong")
+	}
+	never := Spec{Name: "once", Cores: 1, MaxRetries: 0}
+	if never.ShouldRetry(1) {
+		t.Error("zero-retry policy wrong")
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	orig := Summit()
+	b, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegistry(b)
+	if err != nil {
+		t.Fatalf("reloading own output: %v\n%s", err, b)
+	}
+	if len(loaded.Names()) != len(orig.Names()) {
+		t.Errorf("names = %v vs %v", loaded.Names(), orig.Names())
+	}
+	cg, ok := loaded.Get("cg-sim")
+	if !ok || cg.GPUs != 1 || cg.Cores != 3 || cg.MaxRetries != -1 {
+		t.Errorf("cg-sim = %+v", cg)
+	}
+	cs, _ := loaded.Get("createsim")
+	if time.Duration(cs.MeanDuration) != 90*time.Minute {
+		t.Errorf("createsim duration = %v", cs.MeanDuration)
+	}
+}
+
+func TestLoadRegistryFromConfigText(t *testing.T) {
+	// The configuration-file path an application author uses (§4.5).
+	cfg := `[
+	  {"name": "meshgen", "cores": 16, "duration": "30m", "jitter": 0.2, "max_retries": 2},
+	  {"name": "canyon-les", "cores": 4, "gpus": 1, "max_retries": -1}
+	]`
+	r, err := LoadRegistry([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); strings.Join(got, ",") != "canyon-les,meshgen" {
+		t.Errorf("Names = %v", got)
+	}
+	les, _ := r.Get("canyon-les")
+	if les.GPUs != 1 || !les.ShouldRetry(99) {
+		t.Errorf("les = %+v", les)
+	}
+}
+
+func TestLoadRegistryErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`[{"name": "a", "cores": 1}, {"name": "a", "cores": 2}]`, // duplicate
+		`[{"name": "bad", "cores": 1, "duration": "ninety minutes"}]`,
+		`[{"cores": 1}]`, // unnamed
+	}
+	for _, c := range cases {
+		if _, err := LoadRegistry([]byte(c)); err == nil {
+			t.Errorf("config %q accepted", c)
+		}
+	}
+}
+
+func TestSummitRegistryShapes(t *testing.T) {
+	r := Summit()
+	want := []string{"aa-sim", "backmap", "cg-sim", "continuum", "createsim"}
+	if got := strings.Join(r.Names(), ","); got != strings.Join(want, ",") {
+		t.Errorf("Names = %v", got)
+	}
+	cont, _ := r.Get("continuum")
+	if cont.Nodes != 150 || cont.Cores != 24 {
+		t.Errorf("continuum = %+v", cont)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("unknown spec found")
+	}
+}
+
+func TestTrackerRetryAccounting(t *testing.T) {
+	tr := NewTracker(Spec{Name: "setup", Cores: 1, MaxRetries: 2})
+	if tr.Spec().Name != "setup" {
+		t.Error("spec accessor wrong")
+	}
+	if !tr.RecordFailure("job-a") || tr.Attempts("job-a") != 1 {
+		t.Error("first failure should retry")
+	}
+	if !tr.RecordFailure("job-a") {
+		t.Error("second failure should retry")
+	}
+	if tr.RecordFailure("job-a") {
+		t.Error("third failure should give up")
+	}
+	// Independent items don't share history.
+	if !tr.RecordFailure("job-b") {
+		t.Error("fresh item should retry")
+	}
+	// Success clears history.
+	tr.RecordSuccess("job-a")
+	if tr.Attempts("job-a") != 0 || !tr.RecordFailure("job-a") {
+		t.Error("success did not reset attempts")
+	}
+}

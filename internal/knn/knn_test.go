@@ -1,0 +1,212 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqDist(t *testing.T) {
+	if d := SqDist([]float64{0, 0}, []float64{3, 4}); d != 25 {
+		t.Errorf("SqDist = %v", d)
+	}
+	if d := SqDist([]float64{1}, []float64{1}); d != 0 {
+		t.Errorf("SqDist identical = %v", d)
+	}
+}
+
+func TestBruteEmpty(t *testing.T) {
+	b := NewBrute(3)
+	id, d := b.Nearest([]float64{1, 2, 3})
+	if id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = %d, %v", id, d)
+	}
+	if ns := b.KNearest([]float64{1, 2, 3}, 5); ns != nil {
+		t.Errorf("empty KNearest = %v", ns)
+	}
+}
+
+func TestBruteNearest(t *testing.T) {
+	b := NewBrute(2)
+	b.Add([]float64{0, 0})
+	b.Add([]float64{10, 0})
+	b.Add([]float64{5, 5})
+	id, d := b.Nearest([]float64{9, 1})
+	if id != 1 || math.Abs(d-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Nearest = %d, %v", id, d)
+	}
+}
+
+func TestBruteKNearestSorted(t *testing.T) {
+	b := NewBrute(1)
+	for _, v := range []float64{0, 10, 3, 7} {
+		b.Add([]float64{v})
+	}
+	ns := b.KNearest([]float64{4}, 3)
+	if len(ns) != 3 {
+		t.Fatalf("len = %d", len(ns))
+	}
+	if ns[0].ID != 2 || ns[1].ID != 3 || ns[2].ID != 0 {
+		t.Errorf("order = %v", ns)
+	}
+	if ns[0].Dist != 1 || ns[1].Dist != 3 || ns[2].Dist != 4 {
+		t.Errorf("dists = %v", ns)
+	}
+	// k larger than the index truncates.
+	if got := b.KNearest([]float64{4}, 99); len(got) != 4 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+}
+
+func TestBruteNearestAmong(t *testing.T) {
+	b := NewBrute(1)
+	for _, v := range []float64{0, 100, 2} {
+		b.Add([]float64{v})
+	}
+	// Only consider ids [1,3): nearest to 3 among {100, 2} is 2.
+	if d := b.NearestAmong([]float64{3}, 1, 3); d != 1 {
+		t.Errorf("NearestAmong = %v", d)
+	}
+	// Empty window.
+	if d := b.NearestAmong([]float64{3}, 2, 2); !math.IsInf(d, 1) {
+		t.Errorf("empty window = %v", d)
+	}
+	// Out-of-range windows are clamped.
+	if d := b.NearestAmong([]float64{3}, -5, 99); d != 1 {
+		t.Errorf("clamped window = %v", d)
+	}
+}
+
+func TestBruteAtAndLen(t *testing.T) {
+	b := NewBrute(3)
+	b.Add([]float64{1, 2, 3})
+	b.Add([]float64{4, 5, 6})
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if v := b.At(1); v[0] != 4 || v[2] != 6 {
+		t.Errorf("At(1) = %v", v)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	NewBrute(2).Add([]float64{1, 2, 3})
+}
+
+func TestGridMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dim = 3
+	b := NewBrute(dim)
+	g := NewGrid(dim, 0.25)
+	for i := 0; i < 500; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		b.Add(p)
+		g.Add(p)
+	}
+	for i := 0; i < 100; i++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 1.5
+		}
+		bi, bd := b.Nearest(q)
+		gi, gd := g.Nearest(q)
+		if bi != gi || math.Abs(bd-gd) > 1e-12 {
+			t.Fatalf("query %d: brute (%d,%v) vs grid (%d,%v)", i, bi, bd, gi, gd)
+		}
+	}
+}
+
+func TestGridOutlierQueryFallsBack(t *testing.T) {
+	g := NewGrid(2, 0.5)
+	g.Add([]float64{0, 0})
+	// Query very far away: must still find the single point.
+	id, d := g.Nearest([]float64{1000, 1000})
+	if id != 0 || math.Abs(d-1000*math.Sqrt2) > 1e-6 {
+		t.Errorf("outlier Nearest = %d, %v", id, d)
+	}
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	g := NewGrid(2, 1.0)
+	g.Add([]float64{-5.5, -5.5})
+	g.Add([]float64{5.5, 5.5})
+	id, _ := g.Nearest([]float64{-5, -5})
+	if id != 0 {
+		t.Errorf("negative-coordinate Nearest = %d", id)
+	}
+}
+
+func TestGridEmptyAndKNearest(t *testing.T) {
+	g := NewGrid(2, 1.0)
+	if id, d := g.Nearest([]float64{0, 0}); id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty grid Nearest = %d, %v", id, d)
+	}
+	g.Add([]float64{1, 1})
+	g.Add([]float64{2, 2})
+	ns := g.KNearest([]float64{0, 0}, 2)
+	if len(ns) != 2 || ns[0].ID != 0 {
+		t.Errorf("KNearest = %v", ns)
+	}
+}
+
+func TestPropertyGridEqualsBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(100)
+		b := NewBrute(dim)
+		g := NewGrid(dim, 0.1+rng.Float64())
+		for i := 0; i < n; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.Float64()*20 - 10
+			}
+			b.Add(p)
+			g.Add(p)
+		}
+		for i := 0; i < 10; i++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()*24 - 12
+			}
+			_, bd := b.Nearest(q)
+			_, gd := g.Nearest(q)
+			if math.Abs(bd-gd) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBruteNearest9D(b *testing.B) {
+	// The patch selector's unit of work: one candidate's distance against a
+	// growing selected set in 9-D (§4.4 Task 2).
+	rng := rand.New(rand.NewSource(1))
+	ix := NewBrute(9)
+	for i := 0; i < 5000; i++ {
+		p := make([]float64, 9)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		ix.Add(p)
+	}
+	q := make([]float64, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q[0] = float64(i%100) / 100
+		ix.Nearest(q)
+	}
+}

@@ -1,0 +1,276 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a synchronous connection to one server with explicit pipelining
+// support. All methods are safe for concurrent use (serialized internally);
+// for throughput-critical paths, use the Pipeline methods to batch round
+// trips, as the paper's feedback loop batches its Redis queries.
+type Client struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.reconnect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) reconnect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64*1024)
+	c.w = bufio.NewWriterSize(conn, 64*1024)
+	return nil
+}
+
+// do sends one command and reads one reply, reconnecting once on a broken
+// connection (the paper leans on Redis redundancy/retry for resilience; a
+// single transparent retry is our equivalent for transient resets).
+func (c *Client) do(args ...[]byte) (*reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, err := c.doLocked(args...)
+	if err != nil && c.conn != nil {
+		if rerr := c.reconnect(); rerr == nil {
+			rep, err = c.doLocked(args...)
+		}
+	}
+	return rep, err
+}
+
+func (c *Client) doLocked(args ...[]byte) (*reply, error) {
+	if c.conn == nil {
+		return nil, errors.New("kvstore: client closed")
+	}
+	if err := writeCommand(c.w, args...); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return readReply(c.r)
+}
+
+func bs(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	rep, err := c.do(bs("PING")...)
+	if err != nil {
+		return err
+	}
+	if rep.kind != '+' || rep.str != "PONG" {
+		return errProtocol
+	}
+	return nil
+}
+
+// Set stores value at key.
+func (c *Client) Set(key string, value []byte) error {
+	rep, err := c.do([]byte("SET"), []byte(key), value)
+	if err != nil {
+		return err
+	}
+	if rep.kind == '-' {
+		return errors.New(rep.str)
+	}
+	return nil
+}
+
+// Get fetches key; missing keys return ErrNoSuchKey.
+func (c *Client) Get(key string) ([]byte, error) {
+	rep, err := c.do(bs("GET", key)...)
+	if err != nil {
+		return nil, err
+	}
+	if rep.kind != '$' {
+		return nil, errProtocol
+	}
+	if rep.bulk == nil {
+		return nil, ErrNoSuchKey
+	}
+	return rep.bulk, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int, error) {
+	rep, err := c.do(bs(append([]string{"DEL"}, keys...)...)...)
+	if err != nil {
+		return 0, err
+	}
+	if rep.kind != ':' {
+		return 0, errProtocol
+	}
+	return int(rep.n), nil
+}
+
+// Keys lists keys matching a literal-with-trailing-'*' pattern.
+func (c *Client) Keys(pattern string) ([]string, error) {
+	rep, err := c.do(bs("KEYS", pattern)...)
+	if err != nil {
+		return nil, err
+	}
+	if rep.kind != '*' {
+		return nil, errProtocol
+	}
+	out := make([]string, len(rep.array))
+	for i, b := range rep.array {
+		out[i] = string(b)
+	}
+	return out, nil
+}
+
+// Rename moves src to dst; missing src returns ErrNoSuchKey.
+func (c *Client) Rename(src, dst string) error {
+	rep, err := c.do(bs("RENAME", src, dst)...)
+	if err != nil {
+		return err
+	}
+	if rep.kind == '-' {
+		return ErrNoSuchKey
+	}
+	return nil
+}
+
+// MGet fetches many keys in one round trip; missing keys yield nil entries.
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	rep, err := c.do(bs(append([]string{"MGET"}, keys...)...)...)
+	if err != nil {
+		return nil, err
+	}
+	if rep.kind != '*' {
+		return nil, errProtocol
+	}
+	return rep.array, nil
+}
+
+// DBSize returns the server's key count.
+func (c *Client) DBSize() (int, error) {
+	rep, err := c.do(bs("DBSIZE")...)
+	if err != nil {
+		return 0, err
+	}
+	return int(rep.n), nil
+}
+
+// FlushAll clears the server.
+func (c *Client) FlushAll() error {
+	_, err := c.do(bs("FLUSHALL")...)
+	return err
+}
+
+// PipelineSet sends many SETs in one batch, reading all replies at the end.
+func (c *Client) PipelineSet(kv map[string][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("kvstore: client closed")
+	}
+	n := 0
+	for k, v := range kv {
+		if err := writeCommand(c.w, []byte("SET"), []byte(k), v); err != nil {
+			return err
+		}
+		n++
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := readReply(c.r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PipelineDel deletes many keys in one batch.
+func (c *Client) PipelineDel(keys []string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, errors.New("kvstore: client closed")
+	}
+	for _, k := range keys {
+		if err := writeCommand(c.w, []byte("DEL"), []byte(k)); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for range keys {
+		rep, err := readReply(c.r)
+		if err != nil {
+			return total, err
+		}
+		total += int(rep.n)
+	}
+	return total, nil
+}
+
+// PipelineRename renames many (src,dst) pairs in one batch, returning the
+// number that succeeded.
+func (c *Client) PipelineRename(pairs [][2]string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, errors.New("kvstore: client closed")
+	}
+	for _, p := range pairs {
+		if err := writeCommand(c.w, []byte("RENAME"), []byte(p[0]), []byte(p[1])); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	ok := 0
+	for range pairs {
+		rep, err := readReply(c.r)
+		if err != nil {
+			return ok, err
+		}
+		if rep.kind == '+' {
+			ok++
+		}
+	}
+	return ok, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

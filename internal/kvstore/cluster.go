@@ -1,0 +1,395 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"mummi/internal/datastore"
+)
+
+// Cluster is the client side of a multi-node deployment: the paper ran a
+// cluster of 20 Redis servers with compute nodes "allocated randomly" to
+// them. Keys are placed by stable hashing so that every client agrees on
+// which node owns a key without coordination; scans and flushes fan out to
+// all nodes.
+type Cluster struct {
+	mu      sync.Mutex
+	addrs   []string
+	clients []*Client
+}
+
+// DialCluster connects to every node of the cluster.
+func DialCluster(addrs []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kvstore: empty cluster")
+	}
+	c := &Cluster{addrs: append([]string(nil), addrs...)}
+	for _, a := range addrs {
+		cl, err := Dial(a)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.clients) }
+
+func (c *Cluster) node(key string) *Client {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.clients[int(h.Sum32())%len(c.clients)]
+}
+
+// Set stores value under key on its owning node.
+func (c *Cluster) Set(key string, value []byte) error { return c.node(key).Set(key, value) }
+
+// Get fetches key from its owning node.
+func (c *Cluster) Get(key string) ([]byte, error) { return c.node(key).Get(key) }
+
+// Del removes keys (grouped per owning node), returning how many existed.
+func (c *Cluster) Del(keys ...string) (int, error) {
+	groups := c.group(keys)
+	total := 0
+	for i, ks := range groups {
+		if len(ks) == 0 {
+			continue
+		}
+		n, err := c.clients[i].PipelineDel(ks)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Rename moves src to dst. Because hashing may place dst on a different
+// node, rename degrades to get+set+del across nodes when needed.
+func (c *Cluster) Rename(src, dst string) error {
+	sn, dn := c.node(src), c.node(dst)
+	if sn == dn {
+		return sn.Rename(src, dst)
+	}
+	v, err := sn.Get(src)
+	if err != nil {
+		return err
+	}
+	if err := dn.Set(dst, v); err != nil {
+		return err
+	}
+	_, err = sn.Del(src)
+	return err
+}
+
+// Keys scans every node for the pattern and merges the results, sorted.
+func (c *Cluster) Keys(pattern string) ([]string, error) {
+	var all []string
+	for _, cl := range c.clients {
+		ks, err := cl.Keys(pattern)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ks...)
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+// MGet fetches many keys, fanning out one pipelined MGET per node.
+func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
+	groups := c.group(keys)
+	out := make(map[string][]byte, len(keys))
+	for i, ks := range groups {
+		if len(ks) == 0 {
+			continue
+		}
+		vals, err := c.clients[i].MGet(ks...)
+		if err != nil {
+			return nil, err
+		}
+		for j, k := range ks {
+			if vals[j] != nil {
+				out[k] = vals[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MSet stores many key-value pairs, one pipelined batch per node.
+func (c *Cluster) MSet(kv map[string][]byte) error {
+	batches := make([]map[string][]byte, len(c.clients))
+	for k, v := range kv {
+		i := c.nodeIndex(k)
+		if batches[i] == nil {
+			batches[i] = make(map[string][]byte)
+		}
+		batches[i][k] = v
+	}
+	for i, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		if err := c.clients[i].PipelineSet(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size sums key counts across nodes.
+func (c *Cluster) Size() (int, error) {
+	total := 0
+	for _, cl := range c.clients {
+		n, err := cl.DBSize()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// FlushAll clears every node.
+func (c *Cluster) FlushAll() error {
+	for _, cl := range c.clients {
+		if err := cl.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) nodeIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(c.clients)
+}
+
+func (c *Cluster) group(keys []string) [][]string {
+	groups := make([][]string, len(c.clients))
+	for _, k := range keys {
+		i := c.nodeIndex(k)
+		groups[i] = append(groups[i], k)
+	}
+	return groups
+}
+
+// Close closes all node connections.
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// datastore.Store adapter
+
+// nsSep joins namespace and key into the flat cluster keyspace. Namespaces
+// and keys may not contain it.
+const nsSep = ":"
+
+// Store adapts a Cluster to the abstract data interface: namespaces become
+// key prefixes, Keys becomes a prefix scan, Move becomes a rename. This is
+// MuMMI's "redis interface": any component can talk to it while cluster
+// details stay hidden.
+//
+// Placement hashes only the key (not the namespace), so moving a key
+// between namespaces — the feedback tagging primitive — is always a
+// same-node rename, never a cross-node copy.
+type Store struct{ c *Cluster }
+
+// node returns the owning client for a bare (namespace-less) key.
+func (s *Store) node(key string) *Client { return s.c.clients[s.c.nodeIndex(key)] }
+
+// NewStore wraps an existing cluster connection.
+func NewStore(c *Cluster) *Store { return &Store{c: c} }
+
+func init() {
+	datastore.Register(datastore.BackendKV, func(cfg datastore.Config) (datastore.Store, error) {
+		cl, err := DialCluster(cfg.Addrs)
+		if err != nil {
+			return nil, err
+		}
+		return NewStore(cl), nil
+	})
+}
+
+func nsKey(ns, key string) (string, error) {
+	if ns == "" || key == "" || strings.Contains(ns, nsSep) || strings.Contains(key, nsSep) {
+		return "", fmt.Errorf("kvstore: invalid namespace/key %q/%q", ns, key)
+	}
+	return ns + nsSep + key, nil
+}
+
+// Put implements datastore.Store.
+func (s *Store) Put(ns, key string, data []byte) error {
+	k, err := nsKey(ns, key)
+	if err != nil {
+		return err
+	}
+	return s.node(key).Set(k, data)
+}
+
+// Get implements datastore.Store.
+func (s *Store) Get(ns, key string) ([]byte, error) {
+	k, err := nsKey(ns, key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.node(key).Get(k)
+	if errors.Is(err, ErrNoSuchKey) {
+		return nil, fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, ns, key)
+	}
+	return v, err
+}
+
+// Delete implements datastore.Store.
+func (s *Store) Delete(ns, key string) error {
+	k, err := nsKey(ns, key)
+	if err != nil {
+		return err
+	}
+	n, err := s.node(key).Del(k)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, ns, key)
+	}
+	return nil
+}
+
+// Keys implements datastore.Store.
+func (s *Store) Keys(ns string) ([]string, error) {
+	if ns == "" || strings.Contains(ns, nsSep) {
+		return nil, fmt.Errorf("kvstore: invalid namespace %q", ns)
+	}
+	full, err := s.c.Keys(ns + nsSep + "*")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(full))
+	for i, f := range full {
+		out[i] = strings.TrimPrefix(f, ns+nsSep)
+	}
+	return out, nil
+}
+
+// Move implements datastore.Store ("renaming keys in the database"):
+// key-based placement makes this a single same-node RENAME.
+func (s *Store) Move(srcNS, key, dstNS string) error {
+	src, err := nsKey(srcNS, key)
+	if err != nil {
+		return err
+	}
+	dst, err := nsKey(dstNS, key)
+	if err != nil {
+		return err
+	}
+	if err := s.node(key).Rename(src, dst); errors.Is(err, ErrNoSuchKey) {
+		return fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, srcNS, key)
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// GetBatch implements datastore.BatchGetter: one pipelined MGET per node.
+func (s *Store) GetBatch(ns string, keys []string) (map[string][]byte, error) {
+	groups := make(map[int][]string)
+	for _, k := range keys {
+		if _, err := nsKey(ns, k); err != nil {
+			return nil, err
+		}
+		i := s.c.nodeIndex(k)
+		groups[i] = append(groups[i], k)
+	}
+	out := make(map[string][]byte, len(keys))
+	for node, ks := range groups {
+		full := make([]string, len(ks))
+		for i, k := range ks {
+			full[i] = ns + nsSep + k
+		}
+		vals, err := s.c.clients[node].MGet(full...)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range ks {
+			if vals[i] != nil {
+				out[k] = vals[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MoveBatch implements datastore.BatchMover: with key-based placement every
+// rename is same-node, so the whole batch is one pipelined RENAME burst per
+// node.
+func (s *Store) MoveBatch(srcNS string, keys []string, dstNS string) error {
+	groups := make(map[int][][2]string)
+	for _, k := range keys {
+		src, err := nsKey(srcNS, k)
+		if err != nil {
+			return err
+		}
+		dst, err := nsKey(dstNS, k)
+		if err != nil {
+			return err
+		}
+		i := s.c.nodeIndex(k)
+		groups[i] = append(groups[i], [2]string{src, dst})
+	}
+	for node, pairs := range groups {
+		if _, err := s.c.clients[node].PipelineRename(pairs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements datastore.Store.
+func (s *Store) Close() error { return s.c.Close() }
+
+// ---------------------------------------------------------------------------
+// Test / deployment helper
+
+// LaunchCluster starts n in-process servers on ephemeral loopback ports and
+// returns their addresses plus a shutdown function. MuMMI's redis interface
+// "sets up a cluster of Redis servers ... allocated randomly to all compute
+// nodes"; this is that setup step for a single-machine deployment.
+func LaunchCluster(n int) (addrs []string, shutdown func(), err error) {
+	servers := make([]*Server, 0, n)
+	stop := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := NewServer(nil)
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}

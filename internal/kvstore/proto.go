@@ -1,0 +1,212 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The wire protocol is RESP (the Redis serialization protocol), restricted
+// to the types mummi needs: requests are arrays of bulk strings; replies
+// are simple strings, errors, integers, bulk strings (nil allowed), or
+// arrays of bulk strings. Using the real wire format keeps the substitution
+// honest: every query crosses a socket and pays serialization costs, like
+// the paper's Redis deployment did.
+
+// maxBulkLen bounds a single value (64 MB), far above the ~850 B frame ids
+// and ~KB RDF payloads the workflow stores, but low enough to stop a corrupt
+// length prefix from allocating unbounded memory.
+const maxBulkLen = 64 << 20
+
+var errProtocol = errors.New("kvstore: protocol error")
+
+func writeCommand(w *bufio.Writer, args ...[]byte) error {
+	if _, err := fmt.Fprintf(w, "*%d\r\n", len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if _, err := fmt.Fprintf(w, "$%d\r\n", len(a)); err != nil {
+			return err
+		}
+		if _, err := w.Write(a); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+func parseLen(b []byte) (int, error) {
+	n, err := strconv.Atoi(string(b))
+	if err != nil || n < -1 || n > maxBulkLen {
+		return 0, errProtocol
+	}
+	return n, nil
+}
+
+// readCommand reads one request array. Returns (nil, io.EOF) on clean close.
+func readCommand(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, errProtocol
+	}
+	n, err := parseLen(line[1:])
+	if err != nil || n < 1 {
+		return nil, errProtocol
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return nil, errProtocol
+		}
+		ln, err := parseLen(line[1:])
+		if err != nil || ln < 0 {
+			return nil, errProtocol
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, errProtocol
+		}
+		args = append(args, buf[:ln])
+	}
+	return args, nil
+}
+
+// reply is a decoded RESP reply.
+type reply struct {
+	kind  byte // '+', '-', ':', '$', '*'
+	str   string
+	n     int64
+	bulk  []byte // nil means RESP nil bulk
+	array [][]byte
+}
+
+func readReply(r *bufio.Reader) (*reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, errProtocol
+	}
+	rep := &reply{kind: line[0]}
+	body := string(line[1:])
+	switch rep.kind {
+	case '+', '-':
+		rep.str = body
+	case ':':
+		rep.n, err = strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return nil, errProtocol
+		}
+	case '$':
+		ln, err := parseLen(line[1:])
+		if err != nil {
+			return nil, err
+		}
+		if ln == -1 {
+			rep.bulk = nil
+			return rep, nil
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, errProtocol
+		}
+		rep.bulk = buf[:ln]
+		if rep.bulk == nil { // zero-length bulk: distinguish from nil
+			rep.bulk = []byte{}
+		}
+	case '*':
+		ln, err := parseLen(line[1:])
+		if err != nil {
+			return nil, err
+		}
+		if ln == -1 {
+			return rep, nil
+		}
+		rep.array = make([][]byte, 0, ln)
+		for i := 0; i < ln; i++ {
+			el, err := readReply(r)
+			if err != nil {
+				return nil, err
+			}
+			if el.kind != '$' {
+				return nil, errProtocol
+			}
+			rep.array = append(rep.array, el.bulk)
+		}
+	default:
+		return nil, errProtocol
+	}
+	return rep, nil
+}
+
+func writeSimple(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	return err
+}
+
+func writeError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+func writeInt(w *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", n)
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if b == nil {
+		_, err := w.WriteString("$-1\r\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeArray(w *bufio.Writer, items [][]byte) error {
+	if _, err := fmt.Fprintf(w, "*%d\r\n", len(items)); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := writeBulk(w, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Server serves one Engine over TCP. One goroutine per connection, a
+// buffered writer flushed once per request batch — the standard shape for a
+// high-throughput in-memory store.
+type Server struct {
+	engine *Engine
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Counters for the Fig. 7 experiment.
+	commands atomic.Int64
+}
+
+// NewServer wraps an engine (NewEngine() if nil).
+func NewServer(engine *Engine) *Server {
+	if engine == nil {
+		engine = NewEngine()
+	}
+	return &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+}
+
+// Engine returns the server's engine (shared with embedded users).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral test port) and starts
+// accepting connections. It returns the bound address immediately.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kvstore: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		s.commands.Add(1)
+		if err := s.dispatch(w, args); err != nil {
+			return
+		}
+		// Flush only when no further pipelined request is already buffered:
+		// this is what makes pipelined batches fast.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {
+	cmd := strings.ToUpper(string(args[0]))
+	e := s.engine
+	switch cmd {
+	case "PING":
+		return writeSimple(w, "PONG")
+	case "SET":
+		if len(args) != 3 {
+			return writeError(w, "wrong number of arguments for SET")
+		}
+		e.Set(string(args[1]), args[2])
+		return writeSimple(w, "OK")
+	case "GET":
+		if len(args) != 2 {
+			return writeError(w, "wrong number of arguments for GET")
+		}
+		v, err := e.Get(string(args[1]))
+		if err != nil {
+			return writeBulk(w, nil)
+		}
+		return writeBulk(w, v)
+	case "DEL":
+		if len(args) < 2 {
+			return writeError(w, "wrong number of arguments for DEL")
+		}
+		keys := make([]string, len(args)-1)
+		for i, a := range args[1:] {
+			keys[i] = string(a)
+		}
+		return writeInt(w, int64(e.Del(keys...)))
+	case "EXISTS":
+		if len(args) != 2 {
+			return writeError(w, "wrong number of arguments for EXISTS")
+		}
+		if e.Exists(string(args[1])) {
+			return writeInt(w, 1)
+		}
+		return writeInt(w, 0)
+	case "KEYS":
+		if len(args) != 2 {
+			return writeError(w, "wrong number of arguments for KEYS")
+		}
+		ks := e.Keys(string(args[1]))
+		items := make([][]byte, len(ks))
+		for i, k := range ks {
+			items[i] = []byte(k)
+		}
+		return writeArray(w, items)
+	case "RENAME":
+		if len(args) != 3 {
+			return writeError(w, "wrong number of arguments for RENAME")
+		}
+		if err := e.Rename(string(args[1]), string(args[2])); err != nil {
+			return writeError(w, "no such key")
+		}
+		return writeSimple(w, "OK")
+	case "MGET":
+		if len(args) < 2 {
+			return writeError(w, "wrong number of arguments for MGET")
+		}
+		keys := make([]string, len(args)-1)
+		for i, a := range args[1:] {
+			keys[i] = string(a)
+		}
+		return writeArray(w, e.MGet(keys...))
+	case "DBSIZE":
+		return writeInt(w, int64(e.Size()))
+	case "FLUSHALL":
+		e.Flush()
+		return writeSimple(w, "OK")
+	default:
+		return writeError(w, "unknown command '"+sanitizeCmd(cmd)+"'")
+	}
+}
+
+func sanitizeCmd(c string) string {
+	c = strings.Map(func(r rune) rune {
+		if r < 0x20 || r > 0x7e {
+			return '?'
+		}
+		return r
+	}, c)
+	if len(c) > 32 {
+		c = c[:32]
+	}
+	return c
+}
+
+// Commands returns the number of commands served (all connections).
+func (s *Server) Commands() int64 { return s.commands.Load() }
+
+// Addr returns the listen address, or "" before Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes every connection, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

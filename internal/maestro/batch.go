@@ -1,0 +1,199 @@
+package maestro
+
+import (
+	"errors"
+	"sync"
+
+	"mummi/internal/cluster"
+	"mummi/internal/sched"
+	"mummi/internal/vclock"
+)
+
+// BatchBackend is a second scheduler backend: a minimal SLURM/LSF-style
+// batch scheduler with immediate first-fit placement and a FIFO wait queue.
+// It exists to make Maestro's portability claim concrete (§4.3: "at the
+// back-end, Maestro can interface with different job schedulers") — the
+// workflow manager runs unchanged on either the Flux-like sched.Scheduler
+// or this one; only the Conductor's backend changes.
+//
+// Compared to sched.Scheduler it has no queue-manager/matcher split, no
+// policy knobs, and no modeled scheduling costs: placement is instantaneous
+// at submission or at a predecessor's completion, which is how conventional
+// batch systems appear to a workflow that polls them.
+type BatchBackend struct {
+	clk     vclock.Clock
+	machine *cluster.Machine
+
+	mu       sync.Mutex
+	nextID   sched.JobID
+	jobs     map[sched.JobID]*batchJob
+	queue    []sched.JobID
+	onStart  func(sched.JobID)
+	onFinish func(sched.JobID, sched.State)
+}
+
+type batchJob struct {
+	id    sched.JobID
+	req   sched.Request
+	state sched.State
+	alloc cluster.Alloc
+}
+
+// NewBatchBackend builds the backend over a machine.
+func NewBatchBackend(clk vclock.Clock, machine *cluster.Machine) (*BatchBackend, error) {
+	if machine == nil {
+		return nil, errors.New("maestro: nil machine")
+	}
+	return &BatchBackend{clk: clk, machine: machine, jobs: make(map[sched.JobID]*batchJob)}, nil
+}
+
+// Submit implements Backend.
+func (b *BatchBackend) Submit(req sched.Request) (sched.JobID, error) {
+	if req.NodeCount < 1 {
+		req.NodeCount = 1
+	}
+	b.mu.Lock()
+	b.nextID++
+	j := &batchJob{id: b.nextID, req: req, state: sched.Pending}
+	b.jobs[j.id] = j
+	b.queue = append(b.queue, j.id)
+	started := b.drainLocked()
+	b.mu.Unlock()
+	for _, id := range started {
+		b.notifyStart(id)
+	}
+	return j.id, nil
+}
+
+// drainLocked places queued jobs FIFO (no backfilling) while they fit.
+// Returns the ids started; caller notifies outside the lock.
+func (b *BatchBackend) drainLocked() []sched.JobID {
+	var started []sched.JobID
+	for len(b.queue) > 0 {
+		j := b.jobs[b.queue[0]]
+		if j == nil || j.state != sched.Pending {
+			b.queue = b.queue[1:]
+			continue
+		}
+		nodes := b.fit(j.req)
+		if nodes == nil {
+			break // FIFO head blocked: classic batch behaviour
+		}
+		var alloc cluster.Alloc
+		ok := true
+		for _, n := range nodes {
+			part, err := b.machine.Reserve(n, j.req.Cores, j.req.GPUs)
+			if err != nil {
+				ok = false
+				break
+			}
+			alloc.Parts = append(alloc.Parts, part)
+		}
+		if !ok {
+			b.machine.Release(alloc)
+			break
+		}
+		b.queue = b.queue[1:]
+		j.state = sched.Running
+		j.alloc = alloc
+		started = append(started, j.id)
+		if j.req.Duration > 0 {
+			id := j.id
+			b.clk.After(j.req.Duration, func() { b.finish(id, sched.Completed) })
+		}
+	}
+	return started
+}
+
+func (b *BatchBackend) fit(req sched.Request) []int {
+	var nodes []int
+	for n := 0; n < b.machine.NumNodes() && len(nodes) < req.NodeCount; n++ {
+		if b.machine.NodeFits(n, req.Cores, req.GPUs) {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) < req.NodeCount {
+		return nil
+	}
+	return nodes
+}
+
+func (b *BatchBackend) notifyStart(id sched.JobID) {
+	b.mu.Lock()
+	cb := b.onStart
+	b.mu.Unlock()
+	if cb != nil {
+		cb(id)
+	}
+}
+
+func (b *BatchBackend) finish(id sched.JobID, st sched.State) {
+	b.mu.Lock()
+	j := b.jobs[id]
+	if j == nil || j.state != sched.Running {
+		b.mu.Unlock()
+		return
+	}
+	j.state = st
+	b.machine.Release(j.alloc)
+	started := b.drainLocked()
+	cb := b.onFinish
+	b.mu.Unlock()
+	if cb != nil {
+		cb(id, st)
+	}
+	for _, sid := range started {
+		b.notifyStart(sid)
+	}
+}
+
+// Complete marks a running job done (drivers without Duration call this).
+func (b *BatchBackend) Complete(id sched.JobID) { b.finish(id, sched.Completed) }
+
+// Fail marks a running job failed.
+func (b *BatchBackend) Fail(id sched.JobID) { b.finish(id, sched.Failed) }
+
+// Cancel implements Backend (pending jobs only).
+func (b *BatchBackend) Cancel(id sched.JobID) bool {
+	b.mu.Lock()
+	j := b.jobs[id]
+	if j == nil || j.state != sched.Pending {
+		b.mu.Unlock()
+		return false
+	}
+	j.state = sched.Canceled
+	cb := b.onFinish
+	b.mu.Unlock()
+	if cb != nil {
+		cb(id, sched.Canceled)
+	}
+	return true
+}
+
+// State returns a job's state.
+func (b *BatchBackend) State(id sched.JobID) (sched.State, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j, ok := b.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return j.state, true
+}
+
+// OnStart implements Backend.
+func (b *BatchBackend) OnStart(fn func(sched.JobID)) {
+	b.mu.Lock()
+	b.onStart = fn
+	b.mu.Unlock()
+}
+
+// OnFinish implements Backend.
+func (b *BatchBackend) OnFinish(fn func(sched.JobID, sched.State)) {
+	b.mu.Lock()
+	b.onFinish = fn
+	b.mu.Unlock()
+}
+
+// interface check
+var _ Backend = (*BatchBackend)(nil)

@@ -1,0 +1,309 @@
+// Package npy implements a minimal, dependency-free codec for the NumPy
+// .npy v1.0 array format. The paper stores patches "in a standard Numpy
+// format" (~70 KB each) and serializes "a Numpy archive into a byte stream
+// that can be redirected effortlessly to a file, an archive, or a database";
+// this package is that byte-stream layer for mummi-go. Supported dtypes are
+// little-endian float32, float64, int32, and int64 in C (row-major) order,
+// which covers every array the workflow moves.
+package npy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+var magic = []byte("\x93NUMPY")
+
+// Array is an n-dimensional array with a concrete element slice.
+// Data must be one of []float32, []float64, []int32, []int64, with
+// len(Data) equal to the product of Shape.
+type Array struct {
+	Shape []int
+	Data  any
+}
+
+// NewFloat64 builds a float64 Array, validating the shape/data agreement.
+func NewFloat64(shape []int, data []float64) (*Array, error) {
+	a := &Array{Shape: shape, Data: data}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewFloat32 builds a float32 Array.
+func NewFloat32(shape []int, data []float32) (*Array, error) {
+	a := &Array{Shape: shape, Data: data}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Len returns the number of elements implied by Shape.
+func (a *Array) Len() int {
+	n := 1
+	for _, s := range a.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Float64s returns the data as []float64, converting from float32/int types
+// if needed. It always copies unless the underlying data is already
+// []float64.
+func (a *Array) Float64s() []float64 {
+	switch d := a.Data.(type) {
+	case []float64:
+		return d
+	case []float32:
+		out := make([]float64, len(d))
+		for i, v := range d {
+			out[i] = float64(v)
+		}
+		return out
+	case []int32:
+		out := make([]float64, len(d))
+		for i, v := range d {
+			out[i] = float64(v)
+		}
+		return out
+	case []int64:
+		out := make([]float64, len(d))
+		for i, v := range d {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	return nil
+}
+
+func (a *Array) descrAndSize() (string, int, error) {
+	switch a.Data.(type) {
+	case []float32:
+		return "<f4", 4, nil
+	case []float64:
+		return "<f8", 8, nil
+	case []int32:
+		return "<i4", 4, nil
+	case []int64:
+		return "<i8", 8, nil
+	default:
+		return "", 0, fmt.Errorf("npy: unsupported data type %T", a.Data)
+	}
+}
+
+func (a *Array) validate() error {
+	_, _, err := a.descrAndSize()
+	if err != nil {
+		return err
+	}
+	for _, s := range a.Shape {
+		if s < 0 {
+			return fmt.Errorf("npy: negative dimension %d", s)
+		}
+	}
+	var n int
+	switch d := a.Data.(type) {
+	case []float32:
+		n = len(d)
+	case []float64:
+		n = len(d)
+	case []int32:
+		n = len(d)
+	case []int64:
+		n = len(d)
+	}
+	if n != a.Len() {
+		return fmt.Errorf("npy: shape %v implies %d elements, data has %d", a.Shape, a.Len(), n)
+	}
+	return nil
+}
+
+// Write encodes the array to w in .npy v1.0 format.
+func Write(w io.Writer, a *Array) error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	descr, _, err := a.descrAndSize()
+	if err != nil {
+		return err
+	}
+	shape := make([]string, len(a.Shape))
+	for i, s := range a.Shape {
+		shape[i] = strconv.Itoa(s)
+	}
+	shapeStr := strings.Join(shape, ", ")
+	if len(a.Shape) == 1 {
+		shapeStr += "," // numpy 1-tuples carry a trailing comma
+	}
+	header := fmt.Sprintf("{'descr': '%s', 'fortran_order': False, 'shape': (%s), }", descr, shapeStr)
+	// Pad with spaces so magic+version+len+header is a multiple of 64 bytes,
+	// ending in newline, exactly as numpy does.
+	pre := len(magic) + 2 + 2
+	total := pre + len(header) + 1
+	pad := (64 - total%64) % 64
+	header += strings.Repeat(" ", pad) + "\n"
+	if len(header) > 0xFFFF {
+		return errors.New("npy: header too large for v1.0")
+	}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{1, 0}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(header))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	switch d := a.Data.(type) {
+	case []float32:
+		return binary.Write(w, binary.LittleEndian, d)
+	case []float64:
+		return binary.Write(w, binary.LittleEndian, d)
+	case []int32:
+		return binary.Write(w, binary.LittleEndian, d)
+	case []int64:
+		return binary.Write(w, binary.LittleEndian, d)
+	}
+	return nil
+}
+
+// Marshal encodes the array to a byte slice.
+func Marshal(a *Array) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Read decodes one .npy array from r.
+func Read(r io.Reader) (*Array, error) {
+	head := make([]byte, len(magic)+2+2)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("npy: short header: %w", err)
+	}
+	if !bytes.Equal(head[:len(magic)], magic) {
+		return nil, errors.New("npy: bad magic")
+	}
+	if head[6] != 1 || head[7] != 0 {
+		return nil, fmt.Errorf("npy: unsupported version %d.%d", head[6], head[7])
+	}
+	hlen := int(binary.LittleEndian.Uint16(head[8:10]))
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("npy: short header dict: %w", err)
+	}
+	descr, fortran, shape, err := parseHeader(string(hdr))
+	if err != nil {
+		return nil, err
+	}
+	if fortran {
+		return nil, errors.New("npy: fortran_order arrays not supported")
+	}
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			return nil, fmt.Errorf("npy: negative dimension %d", s)
+		}
+		n *= s
+	}
+	a := &Array{Shape: shape}
+	switch descr {
+	case "<f4":
+		d := make([]float32, n)
+		if err := binary.Read(r, binary.LittleEndian, d); err != nil {
+			return nil, fmt.Errorf("npy: short data: %w", err)
+		}
+		a.Data = d
+	case "<f8":
+		d := make([]float64, n)
+		if err := binary.Read(r, binary.LittleEndian, d); err != nil {
+			return nil, fmt.Errorf("npy: short data: %w", err)
+		}
+		a.Data = d
+	case "<i4":
+		d := make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, d); err != nil {
+			return nil, fmt.Errorf("npy: short data: %w", err)
+		}
+		a.Data = d
+	case "<i8":
+		d := make([]int64, n)
+		if err := binary.Read(r, binary.LittleEndian, d); err != nil {
+			return nil, fmt.Errorf("npy: short data: %w", err)
+		}
+		a.Data = d
+	default:
+		return nil, fmt.Errorf("npy: unsupported dtype %q", descr)
+	}
+	return a, nil
+}
+
+// Unmarshal decodes one .npy array from a byte slice.
+func Unmarshal(b []byte) (*Array, error) { return Read(bytes.NewReader(b)) }
+
+// parseHeader parses the python-dict-literal header numpy writes. It
+// tolerates arbitrary key order and whitespace but not nested structures
+// beyond the shape tuple.
+func parseHeader(h string) (descr string, fortran bool, shape []int, err error) {
+	h = strings.TrimSpace(h)
+	h = strings.TrimPrefix(h, "{")
+	h = strings.TrimSuffix(strings.TrimSpace(h), "}")
+
+	// Extract the shape tuple first so its commas don't confuse the split.
+	si := strings.Index(h, "(")
+	sj := strings.Index(h, ")")
+	if si < 0 || sj < si {
+		return "", false, nil, errors.New("npy: header missing shape tuple")
+	}
+	tup := h[si+1 : sj]
+	rest := h[:si] + h[sj+1:]
+	for _, part := range strings.Split(tup, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, convErr := strconv.Atoi(part)
+		if convErr != nil {
+			return "", false, nil, fmt.Errorf("npy: bad shape element %q", part)
+		}
+		shape = append(shape, v)
+	}
+	descr = ""
+	sawFortran := false
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		i := strings.Index(kv, ":")
+		if i < 0 {
+			continue
+		}
+		key := strings.Trim(strings.TrimSpace(kv[:i]), "'\"")
+		val := strings.TrimSpace(kv[i+1:])
+		switch key {
+		case "descr":
+			descr = strings.Trim(val, "'\"")
+		case "fortran_order":
+			fortran = val == "True"
+			sawFortran = true
+		case "shape":
+			// already handled via tuple extraction
+		}
+	}
+	if descr == "" || !sawFortran {
+		return "", false, nil, errors.New("npy: header missing descr or fortran_order")
+	}
+	return descr, fortran, shape, nil
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mummi/internal/vclock"
+)
+
+var epoch = time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func TestProfilerSamplesOnCadence(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	frac := 0.0
+	p := New(clk, DefaultInterval, func() Event {
+		frac += 0.1
+		return Event{GPUFrac: frac, Running: int(frac * 10)}
+	})
+	clk.RunFor(55 * time.Minute)
+	p.Stop()
+	evs := p.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d, want 5 in 55 min at 10-min cadence", len(evs))
+	}
+	for i, ev := range evs {
+		want := epoch.Add(time.Duration(i+1) * DefaultInterval)
+		if !ev.Time.Equal(want) {
+			t.Errorf("event %d at %v, want %v", i, ev.Time, want)
+		}
+	}
+	if math.Abs(evs[2].GPUFrac-0.3) > 1e-12 {
+		t.Errorf("sample payload = %v", evs[2].GPUFrac)
+	}
+	// No more samples after Stop.
+	clk.RunFor(time.Hour)
+	if len(p.Events()) != 5 {
+		t.Error("profiler sampled after Stop")
+	}
+}
+
+func TestOccupancyHistogramsAndHeadline(t *testing.T) {
+	// Reconstruct Fig. 5's headline: 83% of events at >=98% GPU occupancy.
+	var evs []Event
+	for i := 0; i < 83; i++ {
+		evs = append(evs, Event{GPUFrac: 0.999, CPUFrac: 0.5})
+	}
+	for i := 0; i < 17; i++ {
+		evs = append(evs, Event{GPUFrac: 0.6, CPUFrac: 0.5})
+	}
+	gpu, cpu := OccupancyHistograms(evs, 100)
+	if gpu.N() != 100 || cpu.N() != 100 {
+		t.Fatalf("histogram N = %d/%d", gpu.N(), cpu.N())
+	}
+	if f := gpu.FractionAtLeast(98); math.Abs(f-0.83) > 1e-9 {
+		t.Errorf("FractionAtLeast(98) = %v", f)
+	}
+	frac, mean, median := Headline(evs, 98)
+	if math.Abs(frac-0.83) > 1e-9 {
+		t.Errorf("headline frac = %v", frac)
+	}
+	if mean < 90 || mean > 95 {
+		t.Errorf("mean = %v", mean)
+	}
+	if median != 99.9 {
+		t.Errorf("median = %v", median)
+	}
+}
+
+func TestHeadlineEmpty(t *testing.T) {
+	f, m, md := Headline(nil, 98)
+	if f != 0 || m != 0 || md != 0 {
+		t.Error("empty headline nonzero")
+	}
+}
+
+func TestAddMergesRuns(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	p := New(clk, time.Hour, func() Event { return Event{} })
+	p.Stop()
+	p.Add(Event{GPUFrac: 1})
+	p.Add(Event{GPUFrac: 0.5})
+	if len(p.Events()) != 2 {
+		t.Errorf("merged events = %d", len(p.Events()))
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"mummi/internal/cluster"
+)
+
+// Policy selects the resource-matching strategy.
+type Policy int
+
+// Matching policies.
+const (
+	// LowIDExhaustive models the Flux behaviour the paper hit at scale:
+	// the matcher "traverses the resource graph in its entirety for each
+	// job, particularly in the beginning when there are many vacant
+	// resources, creating 'too many choices'", then takes the
+	// lowest-resource-ID feasible placement.
+	LowIDExhaustive Policy = iota
+	// FirstMatch is the paper's fix: assign the first matching resource set
+	// greedily. "Although an aggressive policy like this may not be
+	// suitable for batch job scheduling, it is well-suited for a workflow
+	// like MuMMI."
+	FirstMatch
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == FirstMatch {
+		return "first-match"
+	}
+	return "low-id-exhaustive"
+}
+
+// Matcher is R: it walks the machine's resource graph to place requests,
+// counting vertex visits — the unit of matcher work that the Fig. 6 chunky
+// scheduling and the 670× comparison are measured in.
+type Matcher struct {
+	m      *cluster.Machine
+	policy Policy
+
+	visits int64
+
+	// First-match cursors: the lowest node id at which a job of each class
+	// (GPU-requiring vs CPU-only) might find room. A scan only advances its
+	// cursor past nodes with zero free resources of the class; releases pull
+	// the cursors back. This keeps first-match exact while visiting O(1)
+	// nodes in the common packed-prefix case.
+	gpuCursor int
+	cpuCursor int
+}
+
+// NewMatcher builds a matcher over the machine.
+func NewMatcher(m *cluster.Machine, policy Policy) *Matcher {
+	return &Matcher{m: m, policy: policy}
+}
+
+// Visits returns the cumulative vertex-visit count.
+func (mt *Matcher) Visits() int64 { return mt.visits }
+
+// ResetVisits zeroes the counter (per-experiment accounting).
+func (mt *Matcher) ResetVisits() { mt.visits = 0 }
+
+// Match attempts to place req, reserving resources on success. It returns
+// the allocation, the vertex visits this call performed, and whether the
+// placement succeeded.
+func (mt *Matcher) Match(req Request) (cluster.Alloc, int64, bool) {
+	req = req.normalize()
+	before := mt.visits
+	var nodes []int
+	var ok bool
+	if mt.policy == LowIDExhaustive {
+		nodes, ok = mt.matchExhaustive(req)
+	} else {
+		nodes, ok = mt.matchFirst(req)
+	}
+	if !ok {
+		return cluster.Alloc{}, mt.visits - before, false
+	}
+	alloc := cluster.Alloc{}
+	for _, n := range nodes {
+		part, err := mt.m.Reserve(n, req.Cores, req.GPUs)
+		if err != nil {
+			// Roll back earlier parts; this only happens on internal
+			// inconsistency and must not leak resources.
+			mt.m.Release(alloc)
+			return cluster.Alloc{}, mt.visits - before, false
+		}
+		alloc.Parts = append(alloc.Parts, part)
+	}
+	return alloc, mt.visits - before, true
+}
+
+// matchExhaustive visits every vertex of the graph (each node's full
+// subtree), collects all feasible nodes, and picks the lowest IDs.
+func (mt *Matcher) matchExhaustive(req Request) ([]int, bool) {
+	perNode := int64(mt.m.Topology().VerticesPerNode())
+	var chosen []int
+	for i := 0; i < mt.m.NumNodes(); i++ {
+		mt.visits += perNode // full subtree inspected: "too many choices"
+		if len(chosen) < req.NodeCount && mt.m.NodeFits(i, req.Cores, req.GPUs) {
+			chosen = append(chosen, i)
+		}
+		// NOTE: no early exit — this is the entire point of the experiment.
+	}
+	if len(chosen) < req.NodeCount {
+		return nil, false
+	}
+	return chosen, true
+}
+
+// matchFirst scans from the class cursor and stops at the first feasible
+// node set. Checking a node's aggregate free counts costs one vertex visit;
+// pinning the chosen node's resources costs its subtree.
+func (mt *Matcher) matchFirst(req Request) ([]int, bool) {
+	perNode := int64(mt.m.Topology().VerticesPerNode())
+	cursor := &mt.cpuCursor
+	if req.GPUs > 0 {
+		cursor = &mt.gpuCursor
+	}
+	var chosen []int
+	advanced := *cursor
+	for i := *cursor; i < mt.m.NumNodes(); i++ {
+		mt.visits++ // aggregate check at the node vertex
+		n := mt.m.Node(i)
+		classEmpty := (req.GPUs > 0 && n.FreeGPUs() == 0) || (req.GPUs == 0 && n.FreeCores() == 0)
+		if classEmpty && i == advanced && len(chosen) == 0 {
+			// Contiguous fully-drained prefix: safe to skip permanently
+			// until a release pulls the cursor back.
+			advanced = i + 1
+		}
+		if mt.m.NodeFits(i, req.Cores, req.GPUs) {
+			chosen = append(chosen, i)
+			mt.visits += perNode - 1 // descend to pin cores/GPUs
+			if len(chosen) == req.NodeCount {
+				*cursor = advanced
+				return chosen, true
+			}
+		}
+	}
+	*cursor = advanced
+	return nil, false
+}
+
+// NoteRelease informs the matcher that resources were freed on a node, so
+// first-match cursors can consider it again.
+func (mt *Matcher) NoteRelease(a cluster.Alloc) {
+	for _, p := range a.Parts {
+		if p.Node < mt.gpuCursor {
+			mt.gpuCursor = p.Node
+		}
+		if p.Node < mt.cpuCursor {
+			mt.cpuCursor = p.Node
+		}
+	}
+}
+
+// NoteDrainChange resets cursors after drain/undrain events.
+func (mt *Matcher) NoteDrainChange() {
+	mt.gpuCursor, mt.cpuCursor = 0, 0
+}

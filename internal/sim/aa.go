@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mummi/internal/units"
+)
+
+// SecStructResidues is the number of protein residues whose secondary
+// structure the AA analysis reports (RAS-RAF complex scale).
+const SecStructResidues = 96
+
+// Secondary-structure codes (DSSP-style three-state reduction).
+const (
+	Helix = 'H'
+	Sheet = 'E'
+	Coil  = 'C'
+)
+
+// AAFrame is one analyzed all-atom trajectory frame (§4.1(5)): the
+// AA→CG feedback derives "the most common pattern of protein secondary
+// structure observed in the AA simulations" from these.
+type AAFrame struct {
+	SimID  string `json:"sim"`
+	Index  int    `json:"idx"`
+	TimeFs int64  `json:"t_fs"`
+	// SecStruct is the per-residue secondary-structure string ("HHEEC...").
+	SecStruct string `json:"ss"`
+}
+
+// ID returns the frame's campaign-unique key.
+func (f *AAFrame) ID() string { return fmt.Sprintf("%s_f%06d", f.SimID, f.Index) }
+
+// Marshal serializes the frame for the data interface.
+func (f *AAFrame) Marshal() ([]byte, error) { return json.Marshal(f) }
+
+// UnmarshalAAFrame decodes a frame.
+func UnmarshalAAFrame(b []byte) (*AAFrame, error) {
+	var f AAFrame
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("sim: corrupt AA frame: %w", err)
+	}
+	if len(f.SecStruct) == 0 {
+		return nil, fmt.Errorf("sim: AA frame without secondary structure")
+	}
+	return &f, nil
+}
+
+// AASim generates one all-atom simulation's analysis stream. The secondary
+// structure starts from a reference fold and residues flip state rarely,
+// so consensus across frames is stable but drifts — what the AA→CG feedback
+// is designed to track.
+type AASim struct {
+	id      string
+	rng     *rand.Rand
+	ss      []byte
+	frame   int
+	simTime units.SimTime
+	// FrameInterval is the trajectory time per frame (0.1 ns per §4.1(5)).
+	FrameInterval units.SimTime
+}
+
+// NewAASim creates the generator, seeded for reproducibility.
+func NewAASim(id string, seed int64) *AASim {
+	rng := rand.New(rand.NewSource(seed))
+	ss := make([]byte, SecStructResidues)
+	for i := range ss {
+		// Reference fold: mostly helical with sheet and loop segments.
+		switch {
+		case i%12 < 6:
+			ss[i] = Helix
+		case i%12 < 9:
+			ss[i] = Sheet
+		default:
+			ss[i] = Coil
+		}
+	}
+	return &AASim{id: id, rng: rng, ss: ss, FrameInterval: 100 * units.Picosecond}
+}
+
+// ID returns the simulation id.
+func (s *AASim) ID() string { return s.id }
+
+// SimTime returns the trajectory length produced so far.
+func (s *AASim) SimTime() units.SimTime { return s.simTime }
+
+// Frames returns the number of frames produced so far.
+func (s *AASim) Frames() int { return s.frame }
+
+// NextFrame advances one frame interval and returns the analysis result.
+func (s *AASim) NextFrame() *AAFrame {
+	s.simTime += s.FrameInterval
+	states := []byte{Helix, Sheet, Coil}
+	for i := range s.ss {
+		if s.rng.Float64() < 0.02 { // rare local refolding
+			s.ss[i] = states[s.rng.Intn(len(states))]
+		}
+	}
+	f := &AAFrame{
+		SimID:     s.id,
+		Index:     s.frame,
+		TimeFs:    s.simTime.Femtoseconds(),
+		SecStruct: string(s.ss),
+	}
+	s.frame++
+	return f
+}
+
+// ConsensusSecStruct returns the per-residue majority structure across
+// frames — the feedback's "most common pattern". Ties resolve H > E > C.
+func ConsensusSecStruct(frames []*AAFrame) (string, error) {
+	if len(frames) == 0 {
+		return "", fmt.Errorf("sim: consensus of zero frames")
+	}
+	n := len(frames[0].SecStruct)
+	counts := make([][3]int, n)
+	for _, f := range frames {
+		if len(f.SecStruct) != n {
+			return "", fmt.Errorf("sim: frame %s has %d residues, want %d", f.ID(), len(f.SecStruct), n)
+		}
+		for i := 0; i < n; i++ {
+			switch f.SecStruct[i] {
+			case Helix:
+				counts[i][0]++
+			case Sheet:
+				counts[i][1]++
+			case Coil:
+				counts[i][2]++
+			default:
+				return "", fmt.Errorf("sim: invalid structure code %q", f.SecStruct[i])
+			}
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		best, bestC := 0, counts[i][0]
+		for j := 1; j < 3; j++ {
+			if counts[i][j] > bestC {
+				best, bestC = j, counts[i][j]
+			}
+		}
+		b.WriteByte([]byte{Helix, Sheet, Coil}[best])
+	}
+	return b.String(), nil
+}

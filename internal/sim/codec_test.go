@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	g := NewCGSim("pfcg_000123", 14, 2, []float64{0.9, 0.1}, 5)
+	for i := 0; i < 5; i++ {
+		f := g.NextFrame()
+		b, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalCGFrameBinary(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != f.ID() || got.State != f.State || got.TimeFs != f.TimeFs ||
+			got.Tilt != f.Tilt || got.Rotation != f.Rotation || got.Depth != f.Depth {
+			t.Fatalf("scalar mismatch: %+v vs %+v", got, f)
+		}
+		for sp := range f.RDF {
+			for j := range f.RDF[sp] {
+				if got.RDF[sp][j] != f.RDF[sp][j] {
+					t.Fatalf("RDF[%d][%d] mismatch", sp, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryCodecCompactness(t *testing.T) {
+	g := NewCGSim("sim", 14, 1, nil, 1)
+	f := g.NextFrame()
+	j, _ := f.Marshal()
+	b, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) >= len(j)/2 {
+		t.Errorf("binary %dB not substantially smaller than JSON %dB", len(b), len(j))
+	}
+}
+
+func TestAutoDetect(t *testing.T) {
+	g := NewCGSim("auto", 4, 0, nil, 2)
+	f := g.NextFrame()
+	j, _ := f.Marshal()
+	b, _ := f.MarshalBinary()
+	for _, enc := range [][]byte{j, b} {
+		got, err := UnmarshalCGFrameAuto(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != f.ID() {
+			t.Errorf("auto decode id = %q", got.ID())
+		}
+	}
+	if _, err := UnmarshalCGFrameAuto([]byte("junk")); err == nil {
+		t.Error("junk decoded")
+	}
+}
+
+func TestBinaryCodecErrors(t *testing.T) {
+	if _, err := UnmarshalCGFrameBinary([]byte("CG")); err == nil {
+		t.Error("short magic accepted")
+	}
+	if _, err := UnmarshalCGFrameBinary([]byte("JSON{}")); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	g := NewCGSim("t", 3, 0, nil, 3)
+	b, _ := g.NextFrame().MarshalBinary()
+	for _, cut := range []int{5, 10, len(b) / 2, len(b) - 1} {
+		if _, err := UnmarshalCGFrameBinary(b[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Ragged RDF rejected at encode time.
+	f := g.NextFrame()
+	f.RDF[1] = f.RDF[1][:5]
+	if _, err := f.MarshalBinary(); err == nil {
+		t.Error("ragged RDF encoded")
+	}
+}
+
+func TestPropertyBinaryCodec(t *testing.T) {
+	f := func(seed int64, species uint8, state uint8) bool {
+		sp := 1 + int(species)%20
+		g := NewCGSim("p", sp, int(state)%3, nil, seed)
+		fr := g.NextFrame()
+		b, err := fr.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCGFrameBinary(b)
+		if err != nil || got.ID() != fr.ID() || len(got.RDF) != sp {
+			return false
+		}
+		return got.RDF[sp-1][RDFBins-1] == fr.RDF[sp-1][RDFBins-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCGFrameCodecs(b *testing.B) {
+	g := NewCGSim("bench", 14, 1, nil, 1)
+	f := g.NextFrame()
+	b.Run("json-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Marshal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	j, _ := f.Marshal()
+	bin, _ := f.MarshalBinary()
+	b.Run("json-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := UnmarshalCGFrame(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := UnmarshalCGFrameBinary(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
