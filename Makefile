@@ -1,0 +1,29 @@
+# Developer entry points. CI runs scripts/ci.sh, which chains the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test race bench vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The selector engine's determinism contract is only believable under the
+# race detector: the equivalence tests spawn worker counts 1, 2, 7, and
+# GOMAXPROCS over shared candidate arrays.
+race:
+	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/...
+
+# Paper-evaluation benchmarks (bench_test.go). -benchtime 3x keeps the
+# campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x .
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	./scripts/ci.sh

@@ -197,7 +197,7 @@ func BenchmarkFeedbackBackends_12x(b *testing.B) {
 // ingest — the capacity behind the paper's "165× more data" claim.
 func BenchmarkSelectors_RankUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := campaign.SelectorScaling(35000, 500_000, int64(i))
+		res, err := campaign.SelectorScaling(35000, 500_000, 0, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,9 +10,17 @@
 //	mummi-bench -exp all                # everything, scaled-down campaign
 //	mummi-bench -exp fig6 -scale 1.0    # full 600,600-node-hour replay
 //	mummi-bench -exp fig7               # KV feedback query sweep
+//	mummi-bench -exp ml165x -json       # machine-readable metrics on stdout
+//
+// With -json the human-readable sections are suppressed and one JSON
+// object is written to stdout: {"schema": "mummi-bench/v1", ...,
+// "experiments": {"<name>": {"<metric>": <number>, ...}}}. Durations are
+// reported in seconds. Redirecting that object to a BENCH_<exp>.json file
+// is the repo's perf-trajectory workflow (see EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,20 +36,52 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "campaign scale factor (1.0 = full 600,600 node-hours)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	full := flag.Bool("full", false, "run systems experiments at full paper scale (slower)")
+	workers := flag.Int("workers", 0, "selector rank-update fan-out (0 = GOMAXPROCS; output identical for any value)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object of per-experiment metrics instead of text")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *full); err != nil {
+	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, seed int64, full bool) error {
+// report is the -json output shape: one flat numeric metric map per
+// experiment, durations in seconds, so perf trajectories diff cleanly.
+type report struct {
+	Schema      string                        `json:"schema"`
+	Scale       float64                       `json:"scale"`
+	Seed        int64                         `json:"seed"`
+	Full        bool                          `json:"full"`
+	Workers     int                           `json:"workers"`
+	Experiments map[string]map[string]float64 `json:"experiments"`
+}
+
+func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool) error {
+	valid := map[string]bool{"all": true, "table1": true, "fig3": true,
+		"fig4": true, "fig5": true, "fig6": true, "counts": true,
+		"fig7": true, "fig8": true, "fluxfix": true, "taridx": true,
+		"feedback12x": true, "ml165x": true, "bundling": true, "inventory": true}
 	want := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if !valid[name] {
+			return fmt.Errorf("unknown experiment %q (see -exp in -help for the list)", name)
+		}
+		want[name] = true
 	}
 	all := want["all"]
+
+	rep := report{Schema: "mummi-bench/v1", Scale: scale, Seed: seed, Full: full,
+		Workers: workers, Experiments: map[string]map[string]float64{}}
+	section := func(name, body string) {
+		if !jsonOut {
+			fmt.Printf("== %s ==\n%s\n", name, body)
+		}
+	}
+	record := func(name string, metrics map[string]float64) {
+		rep.Experiments[name] = metrics
+	}
 
 	needCampaign := all || want["table1"] || want["fig3"] || want["fig4"] ||
 		want["fig5"] || want["fig6"] || want["counts"]
@@ -49,41 +89,93 @@ func run(exp string, scale float64, seed int64, full bool) error {
 	if needCampaign {
 		cfg := campaign.DefaultConfig()
 		cfg.Seed = seed
+		cfg.SelectorWorkers = workers
 		if scale < 1.0 {
 			cfg.Runs = campaign.ScaledRuns(scale)
 		}
 		start := time.Now()
-		fmt.Printf("== campaign replay (scale %.2f) ==\n", scale)
+		if !jsonOut {
+			fmt.Printf("== campaign replay (scale %.2f) ==\n", scale)
+		}
 		var err error
 		res, err = campaign.Run(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("replayed %d runs, %v, in %v\n\n", res.RunsDone, res.TotalNodeHours,
-			time.Since(start).Round(time.Millisecond))
-	}
-
-	section := func(name, body string) {
-		fmt.Printf("== %s ==\n%s\n", name, body)
+		replayWall := time.Since(start)
+		if !jsonOut {
+			fmt.Printf("replayed %d runs, %v, in %v\n\n", res.RunsDone, res.TotalNodeHours,
+				replayWall.Round(time.Millisecond))
+		}
+		record("campaign", map[string]float64{
+			"runs_done":       float64(res.RunsDone),
+			"node_hours":      float64(res.TotalNodeHours),
+			"replay_wall_sec": replayWall.Seconds(),
+		})
 	}
 
 	if all || want["table1"] {
 		section("Table 1: runs at different computational scales", res.Table1Text())
+		record("table1", map[string]float64{
+			"runs_done":  float64(res.RunsDone),
+			"node_hours": float64(res.TotalNodeHours),
+		})
 	}
 	if all || want["fig3"] {
 		section("Figure 3: simulation length distributions", res.Fig3Text())
+		record("fig3", map[string]float64{
+			"cg_sims":    float64(len(res.CGLengthsUs)),
+			"aa_sims":    float64(len(res.AALengthsNs)),
+			"cg_mean_us": mean(res.CGLengthsUs),
+			"aa_mean_ns": mean(res.AALengthsNs),
+		})
 	}
 	if all || want["fig4"] {
 		section("Figure 4: per-scale simulation performance", res.Fig4Text())
+		var cg, aa float64
+		for _, s := range res.CGPerf {
+			cg += s.PerDay
+		}
+		for _, s := range res.AAPerf {
+			aa += s.PerDay
+		}
+		m := map[string]float64{}
+		if len(res.CGPerf) > 0 {
+			m["cg_us_per_day"] = cg / float64(len(res.CGPerf))
+		}
+		if len(res.AAPerf) > 0 {
+			m["aa_ns_per_day"] = aa / float64(len(res.AAPerf))
+		}
+		record("fig4", m)
 	}
 	if all || want["fig5"] {
 		section("Figure 5: resource occupancy", res.Fig5Text())
+		record("fig5", map[string]float64{
+			"gpu_mean_pct":     res.GPUMeanPct,
+			"gpu_ge98_pct":     res.GPUAtLeast98Frac * 100,
+			"cpu_mean_pct":     res.CPUMeanPct,
+			"gpu_median_pct":   res.GPUMedianPct,
+			"cpu_median_pct":   res.CPUMedianPct,
+			"profile_events_n": float64(len(res.ProfileEvents)),
+		})
 	}
 	if all || want["fig6"] {
 		section("Figure 6: job scheduling history", res.Fig6Text())
+		record("fig6", map[string]float64{
+			"timeline_1000_n": float64(len(res.Timeline1000)),
+			"timeline_4000_n": float64(len(res.Timeline4000)),
+		})
 	}
 	if all || want["counts"] {
 		section("§5.1 campaign counts", res.CountsText())
+		record("counts", map[string]float64{
+			"snapshots":           float64(res.Snapshots),
+			"patches":             float64(res.Patches),
+			"cg_selected":         float64(res.CGSelected),
+			"cg_frame_candidates": float64(res.CGFrameCandidates),
+			"aa_selected":         float64(res.AASelected),
+			"files":               float64(res.Files),
+		})
 	}
 
 	if all || want["fig7"] {
@@ -97,10 +189,21 @@ func run(exp string, scale float64, seed int64, full bool) error {
 			return err
 		}
 		section("Figure 7: in-memory DB feedback queries", campaign.Fig7Text(rows))
+		last := rows[len(rows)-1]
+		record("fig7", map[string]float64{
+			"frames":       float64(last.Frames),
+			"keys_per_sec": float64(last.Frames) / last.RetrieveKeys.Seconds(),
+			"vals_per_sec": float64(last.Frames) / last.RetrieveValues.Seconds(),
+			"dels_per_sec": float64(last.Frames) / last.Delete.Seconds(),
+		})
 	}
 	if all || want["fig8"] {
 		r := campaign.Fig8AAFeedback(2000, 6, 2*time.Second, seed)
 		section("Figure 8: AA-to-CG feedback latency", campaign.Fig8Text(r))
+		record("fig8", map[string]float64{
+			"iterations":        float64(len(r.Rows)),
+			"within_target_pct": r.WithinTarget * 100,
+		})
 	}
 	if all || want["fluxfix"] {
 		nodes, jobs := 1000, 6000
@@ -112,6 +215,13 @@ func run(exp string, scale float64, seed int64, full bool) error {
 			return err
 		}
 		section("Flux fix: first-match vs exhaustive matching", campaign.FluxFixText(r))
+		record("fluxfix", map[string]float64{
+			"exhaustive_visits":    float64(r.ExhaustiveVisits),
+			"first_match_visits":   float64(r.FirstMatchVisits),
+			"visit_ratio":          r.VisitRatio(),
+			"exhaustive_wall_sec":  r.ExhaustiveWall.Seconds(),
+			"first_match_wall_sec": r.FirstMatchWall.Seconds(),
+		})
 	}
 	if all || want["taridx"] {
 		files := 2000
@@ -128,6 +238,14 @@ func run(exp string, scale float64, seed int64, full bool) error {
 			return err
 		}
 		section("§5.2 taridx throughput", campaign.TaridxText(r))
+		record("taridx", map[string]float64{
+			"files":          float64(r.Files),
+			"inodes":         float64(r.Inodes),
+			"files_per_sec":  r.FilesPerSec(),
+			"mb_per_sec":     r.MBPerSec(),
+			"write_wall_sec": r.WriteWall.Seconds(),
+			"read_wall_sec":  r.ReadWall.Seconds(),
+		})
 	}
 	if all || want["feedback12x"] {
 		frames := 5000
@@ -144,17 +262,32 @@ func run(exp string, scale float64, seed int64, full bool) error {
 			return err
 		}
 		section("§4.2 feedback backends (the >12x claim)", campaign.FeedbackText(r))
+		record("feedback12x", map[string]float64{
+			"frames":      float64(r.Frames),
+			"fs_wall_sec": r.FSTime.Seconds(),
+			"kv_wall_sec": r.KVTime.Seconds(),
+			"speedup_x":   r.Speedup(),
+		})
 	}
 	if all || want["ml165x"] {
 		fpsQ, binned := 35000, 1_000_000
 		if full {
 			binned = 9_000_000 // the campaign's 9M frame candidates
 		}
-		r, err := campaign.SelectorScaling(fpsQ, binned, seed)
+		r, err := campaign.SelectorScaling(fpsQ, binned, workers, seed)
 		if err != nil {
 			return err
 		}
 		section("§4.4 selector scaling (the 165x claim)", campaign.SelectorText(r))
+		record("ml165x", map[string]float64{
+			"fps_queue":          float64(r.FPSQueue),
+			"fps_refresh_sec":    r.FPSUpdateTime.Seconds(),
+			"binned_n":           float64(r.BinnedN),
+			"binned_add_sec":     float64(r.BinnedAddTime.Seconds()),
+			"binned_select_sec":  r.BinnedSelTime.Seconds(),
+			"binned_madds_per_s": float64(r.BinnedN) / r.BinnedAddTime.Seconds() / 1e6,
+			"candidate_ratio":    r.CandidateRatio,
+		})
 	}
 	if all || want["bundling"] {
 		r, err := campaign.BundlingAblation(16, 4, seed)
@@ -162,13 +295,43 @@ func run(exp string, scale float64, seed int64, full bool) error {
 			return err
 		}
 		section("§4.3 bundling ablation", campaign.BundlingText(r))
+		record("bundling", map[string]float64{
+			"bundled_util_pct":       r.BundledUtilization * 100,
+			"unbundled_util_pct":     r.UnbundledUtil * 100,
+			"bundled_makespan_sec":   r.BundledMakespan.Seconds(),
+			"unbundled_makespan_sec": r.UnbundledMakespan.Seconds(),
+		})
 	}
 	if all || want["inventory"] {
-		rows, err := campaign.InventoryAblation([]float64{0.02, 0.1, 0.25, 0.5, 1.0}, seed)
+		fractions := []float64{0.02, 0.1, 0.25, 0.5, 1.0}
+		rows, err := campaign.InventoryAblation(fractions, seed)
 		if err != nil {
 			return err
 		}
 		section("§4.4 inventory ablation (readiness vs staleness)", campaign.InventoryText(rows))
+		m := map[string]float64{}
+		for _, row := range rows {
+			m[fmt.Sprintf("gpu_mean_pct_at_%.2f", row.Fraction)] = row.GPUMeanPct
+			m[fmt.Sprintf("cpu_mean_pct_at_%.2f", row.Fraction)] = row.CPUMeanPct
+		}
+		record("inventory", m)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
 }

@@ -95,6 +95,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	}
 	c.queueSet = dynim.NewQueueSet(9, cfg.PatchQueueCap)
 	c.queueSet.DisableJournal()
+	c.queueSet.SetWorkers(cfg.SelectorWorkers)
 	c.patchSel = c.queueSet.AsSelector(func(p dynim.Point) string {
 		// Five queues by protein configuration, as in the paper; route on a
 		// stable hash of the candidate id.

@@ -121,7 +121,7 @@ func TestFeedback12xSmall(t *testing.T) {
 }
 
 func TestSelectorScalingSmall(t *testing.T) {
-	res, err := SelectorScaling(5000, 200_000, 3)
+	res, err := SelectorScaling(5000, 200_000, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -228,23 +228,25 @@ func TestPropertyFPSCacheEqualsRecompute(t *testing.T) {
 		}
 		selected = append(selected, fp.Select(2)...)
 		fp.Update()
-		// Recompute each remaining candidate's distance from scratch and
-		// compare with the cached value.
+		// Recompute each remaining candidate's squared distance from scratch
+		// and compare with the cached value (the cache is squared end-to-end;
+		// sqrt only happens at API boundaries).
 		fp.mu.Lock()
 		defer fp.mu.Unlock()
-		for _, c := range fp.cands {
+		for slot, got := range fp.dist2 {
+			coords := fp.coords[slot*fp.dim : (slot+1)*fp.dim]
 			want := math.Inf(1)
 			for _, s := range selected {
 				d := 0.0
 				for k := range s.Coords {
-					dd := s.Coords[k] - c.p.Coords[k]
+					dd := s.Coords[k] - coords[k]
 					d += dd * dd
 				}
-				if d := math.Sqrt(d); d < want {
+				if d < want {
 					want = d
 				}
 			}
-			if math.Abs(c.dist-want) > 1e-9 {
+			if math.Abs(got-want) > 1e-9 {
 				return false
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mummi/internal/knn"
+	"mummi/internal/parallel"
 )
 
 // FarthestPoint ranks candidates by their L2 distance to the nearest
@@ -19,6 +20,34 @@ import (
 // compares against selections made since. This is what makes Add O(1) and
 // keeps "the cost of adding new candidates negligible" (§4.4).
 //
+// Four engine-level optimizations ride on top of that caching scheme:
+//
+//   - Squared distances end-to-end: the cache holds *squared* L2 values and
+//     every comparison is squared-vs-squared, removing one math.Sqrt per
+//     candidate-selection comparison from the hot path. Squaring is
+//     strictly monotonic, so every ordering is unchanged.
+//
+//   - Flat candidate storage: candidates live in dense parallel arrays
+//     (structure-of-arrays) indexed by slot — coordinates in one row-major
+//     arena, cached ranks and staleness counters in flat slices. A rank
+//     refresh streams those arrays in slot order instead of chasing one
+//     heap pointer per candidate, which is what a 35,000-candidate pass is
+//     actually bound by (memory latency, not arithmetic).
+//
+//   - Sharded rank updates: a full refresh partitions the slot range into
+//     contiguous chunks fanned out over parallel.For. Each slot's refresh
+//     reads the append-only selected index and writes only its own cache,
+//     so the result is bit-identical to the serial path for every worker
+//     count — the determinism contract every §5 replay figure depends on.
+//
+//   - Lazy max-heap selection: an index heap keyed on (cached distance,
+//     ID) tracks the candidate order. A cached value is always an *upper
+//     bound* on the true rank (distances only shrink), so Select pops the
+//     top, refreshes it if stale, and re-sifts; the first fresh element to
+//     surface is exactly the argmax the serial full-rescan picked,
+//     tie-broken identically by ID. k selections cost O(k log n) plus the
+//     unavoidable incremental distance work, instead of O(k·n).
+//
 // The queue is capped (35,000 in the paper's patch queues); beyond the cap
 // the lowest-ranked (least novel) candidate is evicted.
 type FarthestPoint struct {
@@ -26,20 +55,44 @@ type FarthestPoint struct {
 
 	dim      int
 	capacity int
+	workers  int // rank-update fan-out; <=0 means GOMAXPROCS
 
-	cands   []*fpCand
-	byID    map[string]*fpCand
+	// Structure-of-arrays candidate store. Slots are dense [0, n); freeing
+	// a slot moves the last slot into the hole so refresh passes stream
+	// contiguous memory.
+	ids     []string
+	coords  []float64 // slot s → coords[s*dim : (s+1)*dim]
+	dist2   []float64 // cached min *squared* distance to sel[0:seenSel[s]]
+	seenSel []int32
+
+	// Index max-heap over slots under (dist2 desc, ID asc). When heapDirty
+	// is set the ordering invariant is suspended and h/heapPos degrade to a
+	// plain membership index: cold bursts pick via streaming argmax passes
+	// (pickEager) where per-pick sift maintenance would be wasted work, and
+	// the next Update heapifies once to re-enter lazy mode.
+	h         []int32 // heap position → slot
+	heapPos   []int32 // slot → heap position
+	heapDirty bool
+
+	// selGap2[r] is the squared distance from sel[r] to its nearest earlier
+	// selection (+Inf for r = 0), and gapSuff[k] = min(selGap2[k:n]) cached
+	// for the current selection count gapSuffN. Together they drive the
+	// triangle-inequality prune in refreshSlot: a selection far from every
+	// earlier selection cannot tighten the rank of a candidate close to one
+	// of them.
+	selGap2  []float64
+	gapSuff  []float64
+	gapSuffN int
+
 	sel     *knn.Brute // selected coordinates, append-only
 	selPts  []Point
 	journal journal
 	dd      dedupe
 }
 
-type fpCand struct {
-	p       Point
-	dist    float64 // cached min distance to selected[0:seenSel]
-	seenSel int
-}
+// fpsMinChunk is the smallest per-worker slot chunk worth a goroutine:
+// below it, spawn latency dominates the distance arithmetic.
+const fpsMinChunk = 512
 
 // NewFarthestPoint creates a sampler for dim-dimensional points with the
 // given queue capacity (0 means unbounded).
@@ -50,11 +103,276 @@ func NewFarthestPoint(dim, capacity int) *FarthestPoint {
 	return &FarthestPoint{
 		dim:      dim,
 		capacity: capacity,
-		byID:     make(map[string]*fpCand),
 		sel:      knn.NewBrute(dim),
 		dd:       newDedupe(),
 	}
 }
+
+// SetWorkers sets the rank-update fan-out (0 = GOMAXPROCS). Selection
+// output is identical for every value — the knob trades wall-clock only.
+func (f *FarthestPoint) SetWorkers(n int) {
+	f.mu.Lock()
+	f.workers = n
+	f.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Slot store and index heap (caller holds the lock throughout)
+
+// heapAbove reports whether slot a sorts above slot b: most novel first
+// (larger cached squared distance), ties broken by smaller ID — the same
+// total order the serial argmax used, so heap-top equals argmax-pick.
+func (f *FarthestPoint) heapAbove(a, b int32) bool {
+	if f.dist2[a] != f.dist2[b] {
+		return f.dist2[a] > f.dist2[b]
+	}
+	return f.ids[a] < f.ids[b]
+}
+
+func (f *FarthestPoint) heapSwap(i, j int) {
+	f.h[i], f.h[j] = f.h[j], f.h[i]
+	f.heapPos[f.h[i]] = int32(i)
+	f.heapPos[f.h[j]] = int32(j)
+}
+
+func (f *FarthestPoint) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.heapAbove(f.h[i], f.h[parent]) {
+			break
+		}
+		f.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts position i toward the leaves; reports whether it moved.
+func (f *FarthestPoint) down(i int) bool {
+	start, n := i, len(f.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && f.heapAbove(f.h[r], f.h[l]) {
+			best = r
+		}
+		if !f.heapAbove(f.h[best], f.h[i]) {
+			break
+		}
+		f.heapSwap(i, best)
+		i = best
+	}
+	return i > start
+}
+
+func (f *FarthestPoint) heapInit() {
+	for i := len(f.h)/2 - 1; i >= 0; i-- {
+		f.down(i)
+	}
+}
+
+// heapRemoveAt removes the heap entry at position pos. While the heap is
+// dirty there is no ordering to restore, so removal is a plain
+// swap-with-last.
+func (f *FarthestPoint) heapRemoveAt(pos int) {
+	last := len(f.h) - 1
+	if pos != last {
+		f.h[pos] = f.h[last]
+		f.heapPos[f.h[pos]] = int32(pos)
+	}
+	f.h = f.h[:last]
+	if pos < last && !f.heapDirty {
+		if !f.down(pos) {
+			f.up(pos)
+		}
+	}
+}
+
+// newSlot appends a candidate to the store and heap with an unranked
+// (+Inf) cache. An unranked push never sifts: +Inf ties resolve by ID and
+// slots are appended in arrival order, so the new leaf stays put unless
+// its ID sorts below its chain of +Inf ancestors.
+func (f *FarthestPoint) newSlot(p Point) {
+	s := int32(len(f.ids))
+	f.ids = append(f.ids, p.ID)
+	f.coords = append(f.coords, p.Coords...)
+	f.dist2 = append(f.dist2, math.Inf(1))
+	f.seenSel = append(f.seenSel, 0)
+	f.heapPos = append(f.heapPos, int32(len(f.h)))
+	f.h = append(f.h, s)
+	if !f.heapDirty {
+		f.up(len(f.h) - 1)
+	}
+}
+
+// freeSlot releases slot s by moving the last slot into it. The slot must
+// already be out of the heap; the moved slot's heap entry is re-pointed.
+func (f *FarthestPoint) freeSlot(s int32) {
+	last := int32(len(f.ids) - 1)
+	if s != last {
+		f.ids[s] = f.ids[last]
+		copy(f.coords[int(s)*f.dim:int(s+1)*f.dim], f.coords[int(last)*f.dim:int(last+1)*f.dim])
+		f.dist2[s] = f.dist2[last]
+		f.seenSel[s] = f.seenSel[last]
+		hp := f.heapPos[last]
+		f.heapPos[s] = hp
+		f.h[hp] = s
+	}
+	f.ids[last] = "" // release the string before truncating
+	f.ids = f.ids[:last]
+	f.coords = f.coords[:int(last)*f.dim]
+	f.dist2 = f.dist2[:last]
+	f.seenSel = f.seenSel[:last]
+	f.heapPos = f.heapPos[:last]
+}
+
+// gapSuffix ensures gapSuff[k] = min(selGap2[k:n]) for the current
+// selection count n. Selections are append-only, so the cache key is just
+// n; the rebuild is O(n) and amortizes over a whole refresh pass. Caller
+// holds the lock; the suffix array is read-only during sharded passes.
+func (f *FarthestPoint) gapSuffix(n int) {
+	if f.gapSuffN == n && len(f.gapSuff) == n {
+		return
+	}
+	if cap(f.gapSuff) < n {
+		f.gapSuff = make([]float64, n)
+	}
+	f.gapSuff = f.gapSuff[:n]
+	m := math.Inf(1)
+	for k := n - 1; k >= 0; k-- {
+		if f.selGap2[k] < m {
+			m = f.selGap2[k]
+		}
+		f.gapSuff[k] = m
+	}
+	f.gapSuffN = n
+}
+
+// refreshSlot folds selections [seenSel[s], n) into slot s's cached rank.
+// rows is the selected index's row-major storage for rows [0, n).
+//
+// Triangle-inequality prune: the cached best is d(c, s*)² for some earlier
+// selection s*, and selGap2[r] lower-bounds d(sel[r], s*)². By the triangle
+// inequality d(c, sel[r]) ≥ d(sel[r], s*) − d(c, s*), so whenever
+// selGap2[r] > 4·best the new selection is at least 2× farther from s* than
+// the candidate is, hence at least best away from the candidate — row r
+// cannot tighten the min and is skipped without touching its coordinates.
+// The comparison is strict so the +Inf sentinel of row 0 (no earlier
+// selection, bound vacuous) never prunes, and an unranked candidate
+// (best = +Inf) always computes. gapSuff extends the same bound to the whole
+// remaining row range, skipping the slot outright. Pruning decisions depend
+// only on cached values, never on chunk boundaries, so sharded passes stay
+// bit-identical for every worker count.
+//
+// The inner sum uses four independent accumulators: the naive acc += d*d
+// chain serializes on FP-add latency (~4 cycles per term), which at 35,000
+// candidates × 9 dims is the single largest cost in a refresh pass. The
+// reassociated sum may differ from the naive order in the last ulp; every
+// rank comparison in the engine goes through this one kernel, so the
+// ordering stays internally consistent.
+func (f *FarthestPoint) refreshSlot(s int32, n int, rows []float64) {
+	dim := f.dim
+	seen := int(f.seenSel[s])
+	best := f.dist2[s]
+	if f.gapSuffN == n && seen < n && f.gapSuff[seen] > 4*best {
+		f.seenSel[s] = int32(n)
+		return
+	}
+	q := f.coords[int(s)*dim : int(s)*dim+dim : int(s)*dim+dim]
+	gaps := f.selGap2
+	for r := seen; r < n; r++ {
+		if gaps[r] > 4*best {
+			continue
+		}
+		// Re-slicing the row to len(q) lets the compiler prove both q[j+k]
+		// and row[j+k] in bounds from the single j+4 <= len(q) loop
+		// condition — no per-element checks in the unrolled body.
+		row := rows[r*dim : r*dim+dim : r*dim+dim]
+		row = row[:len(q)]
+		var a0, a1, a2, a3 float64
+		j := 0
+		for ; j+4 <= len(q); j += 4 {
+			qs, rs := q[j:j+4:j+4], row[j:j+4:j+4]
+			d0 := qs[0] - rs[0]
+			d1 := qs[1] - rs[1]
+			d2 := qs[2] - rs[2]
+			d3 := qs[3] - rs[3]
+			a0 += d0 * d0
+			a1 += d1 * d1
+			a2 += d2 * d2
+			a3 += d3 * d3
+		}
+		for ; j < len(q); j++ {
+			d := q[j] - row[j]
+			a0 += d * d
+		}
+		if acc := (a0 + a1) + (a2 + a3); acc < best {
+			best = acc
+		}
+	}
+	f.dist2[s] = best
+	f.seenSel[s] = int32(n)
+}
+
+// pickEager returns the argmax slot under (fresh dist2 desc, ID asc) in one
+// fused streaming pass — no heap maintenance. It is the cold-burst
+// complement to the lazy heap: when most of the queue is stale, surfacing
+// contenders one at a time through the root costs a log-depth sift per
+// refresh, while one pass streams the flat rank arrays once. The heap stays
+// dirty afterwards (Select marks it); the next Update heapifies once.
+//
+// The pass exploits the upper-bound invariant twice. A slot whose *cached*
+// rank does not beat the running champion's *fresh* rank is screened out
+// without refreshing (its fresh rank can only be lower still, and on an
+// exact tie the ID order is already decided by the cached comparison) —
+// stale ranks go only downward, so typically just the few prefix-maxima of
+// the scan refresh, and everything else costs two sequential loads. Slots
+// that survive the screen are refreshed, which also prices the eventual
+// winner's selGap2 for free. Skipped slots stay stale; the exact catch-up
+// happens in the next updateLocked.
+//
+// Each chunk computes its local argmax; the cross-chunk reduce runs on the
+// calling goroutine in chunk order. Which slots refresh varies with chunk
+// boundaries, but refreshed values themselves never do, and because
+// (dist2 desc, ID asc) is a total order over slots the extremum is unique
+// and grouping-invariant — the same slot wins for every worker count, which
+// is all the determinism contract promises (selection sequences, not cache
+// residue; Update canonicalizes the caches).
+func (f *FarthestPoint) pickEager() int32 {
+	n := f.sel.Len()
+	f.gapSuffix(n)
+	rows := f.sel.RowsFlat(0, n)
+	nc := len(f.ids)
+	w := parallel.Workers(f.workers)
+	best := make([]int32, parallel.Chunks(nc, w, fpsMinChunk))
+	parallel.ForChunk(nc, w, fpsMinChunk, func(chunk, lo, hi int) {
+		b := int32(-1)
+		for s := int32(lo); s < int32(hi); s++ {
+			if b >= 0 && !f.heapAbove(s, b) {
+				continue // upper bound can't beat the champion, fresh won't either
+			}
+			if int(f.seenSel[s]) < n {
+				f.refreshSlot(s, n, rows)
+			}
+			if b < 0 || f.heapAbove(s, b) {
+				b = s
+			}
+		}
+		best[chunk] = b
+	})
+	b := best[0]
+	for _, c := range best[1:] {
+		if f.heapAbove(c, b) {
+			b = c
+		}
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Selector implementation
 
 // Add implements Selector. Duplicate IDs (already queued or selected) are
 // ignored without error, so producers may safely re-offer after restarts.
@@ -67,11 +385,9 @@ func (f *FarthestPoint) Add(p Point) error {
 	if !f.dd.claim(p.ID) {
 		return nil
 	}
-	c := &fpCand{p: p, dist: math.Inf(1)}
-	f.cands = append(f.cands, c)
-	f.byID[p.ID] = c
+	f.newSlot(p)
 	f.journal.record("add", p.ID)
-	if f.capacity > 0 && len(f.cands) > f.capacity {
+	if f.capacity > 0 && len(f.ids) > f.capacity {
 		// Evict in amortized batches: a single-victim scan per add would be
 		// O(queue) for every candidate past the cap, which the campaign's
 		// millions of patch offers cannot afford. The queue is allowed a
@@ -80,7 +396,7 @@ func (f *FarthestPoint) Add(p Point) error {
 		if slack < 1 {
 			slack = 1
 		}
-		if len(f.cands) >= f.capacity+slack {
+		if len(f.ids) >= f.capacity+slack {
 			f.evictDownTo(f.capacity)
 		}
 	}
@@ -88,20 +404,71 @@ func (f *FarthestPoint) Add(p Point) error {
 }
 
 // evictDownTo drops the lowest-ranked (least novel) candidates until only
-// target remain; ties break by ID for determinism. Caller holds the lock.
+// target remain; ties break by ID for determinism. Ranks are refreshed
+// first so victims are chosen on current distances (the former full sort
+// ranked on whatever the last refresh left behind); the refresh amortizes
+// over the eviction slack exactly like the batch itself. Partial selection
+// via a bounded heap costs O(n log m + m log n) for m victims instead of
+// the former O(n log n) full sort. Caller holds the lock.
 func (f *FarthestPoint) evictDownTo(target int) {
-	sort.Slice(f.cands, func(i, j int) bool {
-		if f.cands[i].dist != f.cands[j].dist {
-			return f.cands[i].dist > f.cands[j].dist // most novel first
-		}
-		return f.cands[i].p.ID > f.cands[j].p.ID
-	})
-	for _, victim := range f.cands[target:] {
-		delete(f.byID, victim.p.ID)
-		f.dd.release(victim.p.ID)
-		f.journal.record("evict", victim.p.ID)
+	f.updateLocked()
+	m := len(f.ids) - target
+	if m <= 0 {
+		return
 	}
-	f.cands = f.cands[:target]
+	// moreNovel orders slots most-novel-last-to-evict: under it the root of
+	// the bounded max-heap below is the most novel of the current victim
+	// set, so each surviving slot costs one root comparison.
+	moreNovel := func(a, b int32) bool {
+		if f.dist2[a] != f.dist2[b] {
+			return f.dist2[a] > f.dist2[b]
+		}
+		return f.ids[a] > f.ids[b]
+	}
+	victims := make([]int32, 0, m)
+	vdown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(victims) {
+				break
+			}
+			c := l
+			if r := l + 1; r < len(victims) && moreNovel(victims[r], victims[l]) {
+				c = r
+			}
+			if !moreNovel(victims[c], victims[i]) {
+				break
+			}
+			victims[i], victims[c] = victims[c], victims[i]
+			i = c
+		}
+	}
+	for s := int32(0); int(s) < len(f.ids); s++ {
+		if len(victims) < m {
+			victims = append(victims, s)
+			if len(victims) == m {
+				for i := m/2 - 1; i >= 0; i-- {
+					vdown(i)
+				}
+			}
+		} else if moreNovel(victims[0], s) {
+			victims[0] = s
+			vdown(0)
+		}
+	}
+	// Deterministic least-novel-first journal order.
+	sort.Slice(victims, func(i, j int) bool { return moreNovel(victims[j], victims[i]) })
+	for _, v := range victims {
+		f.dd.release(f.ids[v])
+		f.journal.record("evict", f.ids[v])
+	}
+	// Free in descending slot order so each move pulls from a live slot.
+	bySlot := append([]int32(nil), victims...)
+	sort.Slice(bySlot, func(i, j int) bool { return bySlot[i] > bySlot[j] })
+	for _, v := range bySlot {
+		f.heapRemoveAt(int(f.heapPos[v]))
+		f.freeSlot(v)
+	}
 }
 
 // Update implements Selector: refresh every candidate's cached distance
@@ -112,42 +479,98 @@ func (f *FarthestPoint) Update() {
 	f.updateLocked()
 }
 
+// updateLocked refreshes all stale candidate ranks, sharded over the worker
+// pool, then restores the heap invariant. Each slot's refresh reads the
+// immutable selected index and writes only that slot's own cache, so the
+// refreshed values are bit-identical for every worker count; the serial
+// heapify that follows sees the same arrays either way. Caller holds the
+// lock.
 func (f *FarthestPoint) updateLocked() {
 	n := f.sel.Len()
-	for _, c := range f.cands {
-		if c.seenSel < n {
-			d := f.sel.NearestAmong(c.p.Coords, c.seenSel, n)
-			if d < c.dist {
-				c.dist = d
-			}
-			c.seenSel = n
+	stale := false
+	for _, seen := range f.seenSel {
+		if int(seen) < n {
+			stale = true
+			break
 		}
+	}
+	if stale {
+		f.gapSuffix(n)
+		rows := f.sel.RowsFlat(0, n)
+		parallel.For(len(f.ids), parallel.Workers(f.workers), fpsMinChunk, func(lo, hi int) {
+			for s := int32(lo); s < int32(hi); s++ {
+				if int(f.seenSel[s]) < n {
+					f.refreshSlot(s, n, rows)
+				}
+			}
+		})
+	}
+	if stale || f.heapDirty {
+		f.heapInit()
+		f.heapDirty = false
 	}
 }
 
-// Select implements Selector: refresh ranks, then repeatedly take the
-// farthest candidate, fold it into the selected set, and re-rank against it.
+// Select implements Selector: repeatedly surface the farthest candidate via
+// the lazy heap, fold it into the selected set, and continue. Cached ranks
+// are upper bounds, so a popped candidate that is stale is refreshed and
+// re-sifted; the first *fresh* candidate to hold the top is the true
+// argmax under (distance, ID) — identical to the serial full-refresh scan.
 func (f *FarthestPoint) Select(n int) []Point {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var out []Point
-	for len(out) < n && len(f.cands) > 0 {
-		f.updateLocked()
-		best := 0
-		for i, c := range f.cands {
-			if c.dist > f.cands[best].dist ||
-				(c.dist == f.cands[best].dist && c.p.ID < f.cands[best].p.ID) {
-				best = i
+	for len(out) < n && len(f.h) > 0 {
+		// Lazy pick with an eager fallback. While the heap is ordered,
+		// surface the argmax by refreshing stale roots one log-depth sift at
+		// a time; if a single pick churns past the limit (a mostly-stale
+		// queue — cold burst, post-restore, long Add run), switch to the
+		// fused streaming argmax and leave the heap dirty so the rest of the
+		// burst skips sift maintenance entirely. Both paths refresh to the
+		// exact same values and apply the same (distance, ID) total order,
+		// so the selection sequence is unchanged.
+		var s int32
+		if f.heapDirty {
+			s = f.pickEager()
+		} else {
+			nSel := f.sel.Len()
+			f.gapSuffix(nSel)
+			rows := f.sel.RowsFlat(0, nSel)
+			refreshed, limit := 0, len(f.h)/256+32
+			lazy := true
+			for {
+				top := f.h[0]
+				if int(f.seenSel[top]) == nSel {
+					break
+				}
+				if refreshed >= limit {
+					lazy = false
+					break
+				}
+				f.refreshSlot(top, nSel, rows)
+				f.down(0)
+				refreshed++
+			}
+			if lazy {
+				s = f.h[0]
+			} else {
+				f.heapDirty = true
+				s = f.pickEager()
 			}
 		}
-		chosen := f.cands[best]
-		f.cands[best] = f.cands[len(f.cands)-1]
-		f.cands = f.cands[:len(f.cands)-1]
-		delete(f.byID, chosen.p.ID)
-		f.sel.Add(chosen.p.Coords)
-		f.selPts = append(f.selPts, chosen.p)
-		f.journal.record("select", chosen.p.ID)
-		out = append(out, chosen.p)
+		f.heapRemoveAt(int(f.heapPos[s]))
+		id := f.ids[s]
+		coords := append([]float64(nil), f.coords[int(s)*f.dim:int(s+1)*f.dim]...)
+		// The picked candidate's rank is fresh, and it is exactly the new
+		// selection's squared distance to its nearest earlier selection —
+		// selGap2 for the triangle-inequality prune comes for free.
+		f.selGap2 = append(f.selGap2, f.dist2[s])
+		f.freeSlot(s)
+		f.sel.Add(coords)
+		p := Point{ID: id, Coords: coords}
+		f.selPts = append(f.selPts, p)
+		f.journal.record("select", id)
+		out = append(out, p)
 	}
 	return out
 }
@@ -164,7 +587,7 @@ func (f *FarthestPoint) DisableJournal() {
 func (f *FarthestPoint) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.cands)
+	return len(f.ids)
 }
 
 // Selected returns the points selected so far, in selection order.
@@ -181,14 +604,19 @@ func (f *FarthestPoint) History() []Event {
 	return f.journal.history()
 }
 
-// Checkpoint serializes the sampler's full state.
+// Checkpoint serializes the sampler's full state. Candidates are written
+// in ID order so checkpoint bytes are independent of slot and heap layout.
 func (f *FarthestPoint) Checkpoint() ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := snapshot{Kind: "fps", Selected: f.selPts, Events: f.journal.events, Seq: f.journal.seq}
-	for _, c := range f.cands {
-		s.Candidates = append(s.Candidates, c.p)
+	for i, id := range f.ids {
+		s.Candidates = append(s.Candidates, Point{
+			ID:     id,
+			Coords: append([]float64(nil), f.coords[i*f.dim:(i+1)*f.dim]...),
+		})
 	}
+	sort.Slice(s.Candidates, func(i, j int) bool { return s.Candidates[i].ID < s.Candidates[j].ID })
 	return marshalSnapshot(s)
 }
 
@@ -208,15 +636,20 @@ func RestoreFarthestPoint(dim, capacity int, ckpt []byte) (*FarthestPoint, error
 		f.dd.claim(p.ID)
 		f.sel.Add(p.Coords)
 		f.selPts = append(f.selPts, p)
+		// Restored selections get a zero gap: the triangle-inequality prune
+		// only ever skips work when a gap is provably large, so a too-small
+		// gap is always safe — it merely computes rows it could have
+		// skipped. Recomputing exact gaps would cost O(selections²·dim) on
+		// every restart; selections made after the restore regain exact
+		// gaps for free.
+		f.selGap2 = append(f.selGap2, 0)
 	}
 	for _, p := range s.Candidates {
 		if len(p.Coords) != dim {
 			return nil, fmt.Errorf("dynim: checkpoint point %q has dim %d", p.ID, len(p.Coords))
 		}
 		f.dd.claim(p.ID)
-		c := &fpCand{p: p, dist: math.Inf(1)}
-		f.cands = append(f.cands, c)
-		f.byID[p.ID] = c
+		f.newSlot(p)
 	}
 	f.journal.events = s.Events
 	f.journal.seq = s.Seq
@@ -230,6 +663,7 @@ type QueueSet struct {
 	mu        sync.Mutex
 	dim       int
 	cap       int
+	workers   int
 	queues    map[string]*FarthestPoint
 	order     []string
 	noJournal bool
@@ -238,6 +672,17 @@ type QueueSet struct {
 // NewQueueSet creates an empty set whose queues share dim and capacity.
 func NewQueueSet(dim, capacity int) *QueueSet {
 	return &QueueSet{dim: dim, cap: capacity, queues: make(map[string]*FarthestPoint)}
+}
+
+// SetWorkers sets the rank-update fan-out (0 = GOMAXPROCS) on all current
+// and future queues. Selection output is identical for every value.
+func (q *QueueSet) SetWorkers(n int) {
+	q.mu.Lock()
+	q.workers = n
+	for _, fp := range q.queues {
+		fp.SetWorkers(n)
+	}
+	q.mu.Unlock()
 }
 
 // Add routes a candidate to the named queue, creating it on first use.
@@ -249,6 +694,7 @@ func (q *QueueSet) Add(queue string, p Point) error {
 		if q.noJournal {
 			fp.DisableJournal()
 		}
+		fp.SetWorkers(q.workers)
 		q.queues[queue] = fp
 		q.order = append(q.order, queue)
 		sort.Strings(q.order)
@@ -268,24 +714,33 @@ func (q *QueueSet) SelectFrom(queue string, n int) []Point {
 	return fp.Select(n)
 }
 
+// snapshotQueues returns the queues in name order under one lock
+// acquisition, so round-robin passes do not re-take the set lock once per
+// queue per point.
+func (q *QueueSet) snapshotQueues() []*FarthestPoint {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fps := make([]*FarthestPoint, 0, len(q.order))
+	for _, name := range q.order {
+		fps = append(fps, q.queues[name])
+	}
+	return fps
+}
+
 // Select round-robins one selection at a time across the queues (sorted by
 // name for determinism) until n points are gathered or all queues drain.
+// The queue list is snapshotted once; queues created during the pass join
+// the next Select call.
 func (q *QueueSet) Select(n int) []Point {
-	q.mu.Lock()
-	order := append([]string(nil), q.order...)
-	q.mu.Unlock()
+	fps := q.snapshotQueues()
 	var out []Point
 	for len(out) < n {
 		progress := false
-		for _, name := range order {
+		for _, fp := range fps {
 			if len(out) >= n {
 				break
 			}
-			q.mu.Lock()
-			fp := q.queues[name]
-			q.mu.Unlock()
-			got := fp.Select(1)
-			if len(got) > 0 {
+			if got := fp.Select(1); len(got) > 0 {
 				out = append(out, got...)
 				progress = true
 			}
@@ -295,6 +750,14 @@ func (q *QueueSet) Select(n int) []Point {
 		}
 	}
 	return out
+}
+
+// Update refreshes candidate ranks in every queue; each queue's refresh is
+// itself sharded over the worker pool.
+func (q *QueueSet) Update() {
+	for _, fp := range q.snapshotQueues() {
+		fp.Update()
+	}
 }
 
 // Len sums candidates across queues.
@@ -341,31 +804,15 @@ func (s queueSelector) Add(p Point) error { return s.qs.Add(s.route(p), p) }
 
 func (s queueSelector) Select(n int) []Point { return s.qs.Select(n) }
 
-func (s queueSelector) Update() {
-	s.qs.mu.Lock()
-	queues := make([]*FarthestPoint, 0, len(s.qs.queues))
-	for _, fp := range s.qs.queues {
-		queues = append(queues, fp)
-	}
-	s.qs.mu.Unlock()
-	for _, fp := range queues {
-		fp.Update()
-	}
-}
+func (s queueSelector) Update() { s.qs.Update() }
 
 func (s queueSelector) Len() int { return s.qs.Len() }
 
 // History merges the per-queue journals in sequence order within each
 // queue; cross-queue ordering is by queue name.
 func (s queueSelector) History() []Event {
-	s.qs.mu.Lock()
-	order := append([]string(nil), s.qs.order...)
-	s.qs.mu.Unlock()
 	var out []Event
-	for _, name := range order {
-		s.qs.mu.Lock()
-		fp := s.qs.queues[name]
-		s.qs.mu.Unlock()
+	for _, fp := range s.qs.snapshotQueues() {
 		out = append(out, fp.History()...)
 	}
 	return out

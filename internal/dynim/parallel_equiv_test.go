@@ -1,0 +1,173 @@
+package dynim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// The determinism contract of the parallel selector engine: for ANY worker
+// count, interleaved Add/Update/Select traffic produces the identical
+// selection sequence, eviction set, and journal as the serial (workers=1)
+// path. Every §5 replay figure depends on this. The tests in this file run
+// the same randomized scenario at workers 1, 2, 7, and GOMAXPROCS and
+// require bit-identical outcomes; `go test -race ./internal/dynim/...`
+// additionally proves the sharded refresh is data-race-free.
+
+// fpScenario drives one randomized Add/Update/Select workload against a
+// sampler with the given worker count and returns the full journal plus the
+// selection sequence.
+func fpScenario(seed int64, capacity, workers int) (events []Event, selections []string) {
+	rng := rand.New(rand.NewSource(seed))
+	fp := NewFarthestPoint(3, capacity)
+	fp.SetWorkers(workers)
+	next := 0
+	for op := 0; op < 60; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // burst of adds (the common traffic shape)
+			for i := rng.Intn(40); i >= 0; i-- {
+				fp.Add(Point{
+					ID:     fmt.Sprintf("p%04d", next),
+					Coords: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+				})
+				next++
+			}
+		case 2: // off-critical-path rank refresh
+			fp.Update()
+		case 3: // selection burst
+			for _, p := range fp.Select(1 + rng.Intn(5)) {
+				selections = append(selections, p.ID)
+			}
+		}
+	}
+	for _, p := range fp.Select(10) {
+		selections = append(selections, p.ID)
+	}
+	return fp.History(), selections
+}
+
+func equivWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+func TestPropertyParallelSelectionMatchesSerial(t *testing.T) {
+	f := func(seed int64, cappedQueue bool) bool {
+		capacity := 0
+		if cappedQueue {
+			capacity = 48 // forces eviction batches through the heap path
+		}
+		refEvents, refSel := fpScenario(seed, capacity, 1)
+		for _, workers := range equivWorkerCounts()[1:] {
+			events, sel := fpScenario(seed, capacity, workers)
+			if !reflect.DeepEqual(sel, refSel) {
+				t.Logf("seed %d workers %d: selection sequence diverged", seed, workers)
+				return false
+			}
+			if !reflect.DeepEqual(events, refEvents) {
+				t.Logf("seed %d workers %d: journal diverged", seed, workers)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelSelectionMatchesSerialAtScale(t *testing.T) {
+	// One deterministic larger-than-fpsMinChunk run so the fan-out really
+	// spawns goroutines (the property test's queues can stay below the
+	// serial-inline threshold).
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	build := func(workers int) []string {
+		rng := rand.New(rand.NewSource(99))
+		fp := NewFarthestPoint(9, 0)
+		fp.SetWorkers(workers)
+		fp.DisableJournal()
+		for i := 0; i < 3*fpsMinChunk; i++ {
+			c := make([]float64, 9)
+			for j := range c {
+				c[j] = rng.Float64()
+			}
+			fp.Add(Point{ID: fmt.Sprintf("p%05d", i), Coords: c})
+		}
+		var out []string
+		for round := 0; round < 4; round++ {
+			fp.Update()
+			for _, p := range fp.Select(6) {
+				out = append(out, p.ID)
+			}
+		}
+		return out
+	}
+	ref := build(1)
+	for _, workers := range equivWorkerCounts()[1:] {
+		if got := build(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: selection sequence differs from serial", workers)
+		}
+	}
+}
+
+func TestQueueSetParallelMatchesSerial(t *testing.T) {
+	// QueueSet-wide updates and round-robin selection under the worker knob.
+	run := func(workers int) []string {
+		rng := rand.New(rand.NewSource(7))
+		qs := NewQueueSet(3, 64)
+		qs.SetWorkers(workers)
+		queues := []string{"ras-a", "ras-b", "ras-raf"}
+		var out []string
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 120; i++ {
+				qs.Add(queues[rng.Intn(len(queues))], Point{
+					ID:     fmt.Sprintf("r%dp%03d", round, i),
+					Coords: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+				})
+			}
+			qs.Update()
+			out = append(out, idsOf(qs.Select(9))...)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range equivWorkerCounts()[1:] {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: queue-set selection differs from serial", workers)
+		}
+	}
+}
+
+// BenchmarkFPSSelectBurst is the selector hot path in isolation: fill a
+// paper-sized queue, then time eight picks, a full refresh, and a ninth
+// pick — the same window campaign.SelectorScaling measures.
+func BenchmarkFPSSelectBurst(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 35000)
+	for i := range pts {
+		coords := make([]float64, 9)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		pts[i] = Point{ID: fmt.Sprintf("p%07d", i), Coords: coords}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fp := NewFarthestPoint(9, 0)
+		fp.DisableJournal()
+		for _, p := range pts {
+			if err := fp.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		fp.Select(8)
+		fp.Update()
+		fp.Select(1)
+	}
+}

@@ -9,9 +9,18 @@
 // friendly, excellent at d=9) and a uniform cell-grid accelerator that
 // prunes by cell distance for workloads with many queries against a slowly
 // growing reference set.
+//
+// Distance kernel invariant: every internal comparison is done on *squared*
+// L2 distances; math.Sqrt appears only at API boundaries that promise true
+// L2 values (Nearest, KNearest, NearestAmong). Squared distance is a
+// strictly monotonic transform on non-negative reals, so every comparison,
+// argmin, and ordering is unchanged — the sqrt per candidate the serial
+// engine paid was pure waste on the rank-update hot path. Callers on that
+// hot path (the dynim samplers) use the ...Sq forms end-to-end.
 package knn
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -53,6 +62,8 @@ type Neighbor struct {
 
 // Brute is an exact linear-scan index over vectors of fixed dimension.
 // Not safe for concurrent mutation; the selectors serialize access.
+// Concurrent reads (Nearest/NearestAmongSq/At) with no writer are safe —
+// the parallel selector engine relies on this during sharded rank updates.
 type Brute struct {
 	dim  int
 	flat []float64 // row-major storage; avoids per-vector allocations
@@ -81,42 +92,104 @@ func (b *Brute) Len() int { return len(b.flat) / b.dim }
 // At implements Index.
 func (b *Brute) At(id int) []float64 { return b.flat[id*b.dim : (id+1)*b.dim] }
 
-// Nearest implements Index.
-func (b *Brute) Nearest(q []float64) (int, float64) {
+// scanBlock is the row count per inner block of the scan kernels. Blocks
+// keep the compiler's bounds-check hoisting effective and the working set
+// within L1 while walking b.flat in strictly ascending (row-major) order.
+const scanBlock = 256
+
+// minSqAmong is the shared scan kernel: the minimum squared distance from q
+// to rows [from, to) of flat storage, plus the argmin id. Rows are walked
+// row-major through one flat slice — no per-row slice headers beyond the
+// re-sliced window, no sqrt, no allocation.
+func (b *Brute) minSqAmong(q []float64, from, to int) (int, float64) {
 	best, bestD := -1, math.Inf(1)
-	n := b.Len()
-	for i := 0; i < n; i++ {
-		if d := SqDist(q, b.At(i)); d < bestD {
-			best, bestD = i, d
+	dim := b.dim
+	for blockLo := from; blockLo < to; blockLo += scanBlock {
+		blockHi := blockLo + scanBlock
+		if blockHi > to {
+			blockHi = to
+		}
+		base := blockLo * dim
+		for i := blockLo; i < blockHi; i++ {
+			row := b.flat[base : base+dim : base+dim]
+			var s float64
+			for j, qv := range q {
+				d := qv - row[j]
+				s += d * d
+			}
+			if s < bestD {
+				best, bestD = i, s
+			}
+			base += dim
 		}
 	}
+	return best, bestD
+}
+
+// Nearest implements Index. The distance is true L2 (sqrt at the boundary).
+func (b *Brute) Nearest(q []float64) (int, float64) {
+	best, bestD := b.minSqAmong(q, 0, b.Len())
 	if best < 0 {
 		return -1, math.Inf(1)
 	}
 	return best, math.Sqrt(bestD)
 }
 
-// NearestAmong returns the minimum distance from q to the vectors with ids
-// in [from, to). It is the primitive behind incremental rank updates: a
-// cached candidate distance only needs comparing against newly selected
-// points.
-func (b *Brute) NearestAmong(q []float64, from, to int) float64 {
-	bestD := math.Inf(1)
+// RowsFlat returns the row-major backing storage for rows [from, to) — a
+// read-only view for batch distance kernels (the selector rank refresh)
+// that stream many queries against the same rows and cannot afford a call
+// per query-row pair. Callers must not mutate the returned slice.
+func (b *Brute) RowsFlat(from, to int) []float64 {
+	return b.flat[from*b.dim : to*b.dim]
+}
+
+// NearestAmongSq returns the minimum *squared* distance from q to the
+// vectors with ids in [from, to). It is the primitive behind incremental
+// rank updates: a cached candidate distance only needs comparing against
+// newly selected points, and on that hot path (35,000 candidates × every
+// new selection) the sqrt the non-Sq form pays per call is pure overhead.
+func (b *Brute) NearestAmongSq(q []float64, from, to int) float64 {
 	if from < 0 {
 		from = 0
 	}
 	if to > b.Len() {
 		to = b.Len()
 	}
-	for i := from; i < to; i++ {
-		if d := SqDist(q, b.At(i)); d < bestD {
-			bestD = d
-		}
-	}
-	return math.Sqrt(bestD)
+	_, bestD := b.minSqAmong(q, from, to)
+	return bestD
 }
 
-// KNearest implements Index.
+// NearestAmong returns the minimum L2 distance from q to the vectors with
+// ids in [from, to). Boundary form of NearestAmongSq.
+func (b *Brute) NearestAmong(q []float64, from, to int) float64 {
+	return math.Sqrt(b.NearestAmongSq(q, from, to))
+}
+
+// kHeap is a bounded max-heap of candidate neighbours keyed on (squared
+// distance, id): the root is the worst of the k best seen so far, so each
+// new candidate needs one root comparison and at most one sift.
+type kHeap []Neighbor
+
+func (h kHeap) Len() int { return len(h) }
+func (h kHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist // max-heap: worst on top
+	}
+	return h[i].ID > h[j].ID
+}
+func (h kHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *kHeap) Push(x any)   { *h = append(*h, x.(Neighbor)) }
+func (h *kHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h kHeap) worse(n Neighbor) bool {
+	if h[0].Dist != n.Dist {
+		return n.Dist < h[0].Dist
+	}
+	return n.ID < h[0].ID
+}
+
+// KNearest implements Index. Partial selection: a bounded max-heap of size
+// k replaces the former materialize-all-then-sort, so cost is O(n log k)
+// instead of O(n log n) and allocation is k entries instead of n.
 func (b *Brute) KNearest(q []float64, k int) []Neighbor {
 	n := b.Len()
 	if k > n {
@@ -125,17 +198,36 @@ func (b *Brute) KNearest(q []float64, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	ns := make([]Neighbor, 0, n)
+	h := make(kHeap, 0, k)
+	dim := b.dim
+	base := 0
 	for i := 0; i < n; i++ {
-		ns = append(ns, Neighbor{ID: i, Dist: math.Sqrt(SqDist(q, b.At(i)))})
-	}
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
+		row := b.flat[base : base+dim : base+dim]
+		var s float64
+		for j, qv := range q {
+			d := qv - row[j]
+			s += d * d
 		}
-		return ns[i].ID < ns[j].ID
+		base += dim
+		cand := Neighbor{ID: i, Dist: s}
+		if len(h) < k {
+			heap.Push(&h, cand)
+		} else if h.worse(cand) {
+			h[0] = cand
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Neighbor(h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
 	})
-	return ns[:k]
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist) // L2 at the API boundary
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -145,11 +237,19 @@ func (b *Brute) KNearest(q []float64, k int) []Neighbor {
 // cellSize and prunes the scan by expanding rings of cells around the query
 // until the best distance cannot improve. For clustered data it visits a
 // small fraction of the points; in the worst case it degrades to brute.
+//
+// Cells are keyed by a 64-bit mix of the integer cell coordinates rather
+// than a formatted string: a query's ring enumeration touches O((2r+1)^dim)
+// cells, and the former string keys allocated on every one of them. Hash
+// collisions are tolerated by construction — a collision only merges two
+// cells' id lists, and since every visited id is re-checked against the
+// query with its true (squared) distance, results stay exact; the scan just
+// inspects a few extra points in the (astronomically rare) colliding case.
 type Grid struct {
 	dim      int
 	cellSize float64
 	flat     []float64
-	cells    map[string][]int
+	cells    map[uint64][]int
 }
 
 // NewGrid creates a cell-grid index with the given cell side length.
@@ -157,7 +257,7 @@ func NewGrid(dim int, cellSize float64) *Grid {
 	if dim < 1 || cellSize <= 0 {
 		panic(fmt.Sprintf("knn: invalid grid parameters dim=%d cell=%g", dim, cellSize))
 	}
-	return &Grid{dim: dim, cellSize: cellSize, cells: make(map[string][]int)}
+	return &Grid{dim: dim, cellSize: cellSize, cells: make(map[uint64][]int)}
 }
 
 func (g *Grid) cellOf(p []float64) []int {
@@ -168,13 +268,23 @@ func (g *Grid) cellOf(p []float64) []int {
 	return c
 }
 
-func cellKey(c []int) string {
-	// Fixed-width encoding keeps keys compact and collision-free.
-	b := make([]byte, 0, len(c)*5)
+// cellHash mixes integer cell coordinates into a 64-bit map key,
+// allocation-free. Each coordinate is avalanched (splitmix64 finalizer)
+// before the combine: cell coordinates are tiny, sign-extended, and highly
+// correlated between neighbouring cells, which defeats byte-oriented
+// combines like plain FNV.
+func cellHash(c []int) uint64 {
+	h := uint64(14695981039346656037)
 	for _, v := range c {
-		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v), ',')
+		x := uint64(v) * 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		h = (h ^ x) * 1099511628211
 	}
-	return string(b)
+	return h
 }
 
 // Add implements Index.
@@ -184,7 +294,7 @@ func (g *Grid) Add(p []float64) int {
 	}
 	id := g.Len()
 	g.flat = append(g.flat, p...)
-	k := cellKey(g.cellOf(p))
+	k := cellHash(g.cellOf(p))
 	g.cells[k] = append(g.cells[k], id)
 	return id
 }
@@ -205,7 +315,7 @@ func (g *Grid) Nearest(q []float64) (int, float64) {
 	// Expand rings of cells. Ring r contains all cells with Chebyshev
 	// distance exactly r from the center cell. Once the closest possible
 	// point in ring r (which is at least (r-1)*cellSize away) cannot beat
-	// the best found, stop.
+	// the best found, stop. All comparisons are on squared distances.
 	for r := 0; ; r++ {
 		if best >= 0 {
 			minPossible := float64(r-1) * g.cellSize
@@ -221,7 +331,7 @@ func (g *Grid) Nearest(q []float64) (int, float64) {
 			b := Brute{dim: g.dim, flat: g.flat}
 			return b.Nearest(q)
 		}
-		g.ring(center, r, func(key string) {
+		g.ring(center, r, func(key uint64) {
 			for _, id := range g.cells[key] {
 				if d := SqDist(q, g.At(id)); d < bestD || (d == bestD && id < best) {
 					best, bestD = id, d
@@ -232,14 +342,14 @@ func (g *Grid) Nearest(q []float64) (int, float64) {
 	return best, math.Sqrt(bestD)
 }
 
-// ring enumerates cell keys at Chebyshev radius r around center.
-func (g *Grid) ring(center []int, r int, visit func(key string)) {
+// ring enumerates cell hash keys at Chebyshev radius r around center.
+func (g *Grid) ring(center []int, r int, visit func(key uint64)) {
 	cur := make([]int, g.dim)
 	var rec func(i int, onShell bool)
 	rec = func(i int, onShell bool) {
 		if i == g.dim {
 			if onShell || r == 0 {
-				visit(cellKey(cur))
+				visit(cellHash(cur))
 			}
 			return
 		}
@@ -250,7 +360,7 @@ func (g *Grid) ring(center []int, r int, visit func(key string)) {
 	}
 	if r == 0 {
 		copy(cur, center)
-		visit(cellKey(cur))
+		visit(cellHash(cur))
 		return
 	}
 	rec(0, false)

@@ -191,6 +191,100 @@ func TestPropertyGridEqualsBrute(t *testing.T) {
 	}
 }
 
+func TestBruteNearestAmongSq(t *testing.T) {
+	b := NewBrute(1)
+	for _, v := range []float64{0, 100, 2} {
+		b.Add([]float64{v})
+	}
+	if d := b.NearestAmongSq([]float64{5}, 0, 3); d != 9 {
+		t.Errorf("NearestAmongSq = %v, want 9", d)
+	}
+	if d := b.NearestAmongSq([]float64{5}, 2, 2); !math.IsInf(d, 1) {
+		t.Errorf("empty window = %v", d)
+	}
+	// The boundary form is exactly sqrt of the squared form.
+	if d := b.NearestAmong([]float64{5}, 0, 3); d != 3 {
+		t.Errorf("NearestAmong = %v, want 3", d)
+	}
+}
+
+func TestPropertyKNearestMatchesFullSort(t *testing.T) {
+	// The bounded-heap partial selection must return exactly what the old
+	// materialize-and-sort implementation returned: the k nearest, sorted by
+	// (distance, id).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		n := rng.Intn(200)
+		b := NewBrute(dim)
+		type ref struct {
+			id int
+			d  float64
+		}
+		var all []ref
+		for i := 0; i < n; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				// Coarse values provoke exact distance ties.
+				p[j] = float64(rng.Intn(8))
+			}
+			b.Add(p)
+		}
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = float64(rng.Intn(8))
+		}
+		for i := 0; i < n; i++ {
+			all = append(all, ref{id: i, d: math.Sqrt(SqDist(q, b.At(i)))})
+		}
+		sortRefs := func() {
+			for i := 1; i < len(all); i++ {
+				for j := i; j > 0 && (all[j].d < all[j-1].d || (all[j].d == all[j-1].d && all[j].id < all[j-1].id)); j-- {
+					all[j], all[j-1] = all[j-1], all[j]
+				}
+			}
+		}
+		sortRefs()
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 5} {
+			got := b.KNearest(q, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(got) != want {
+				return false
+			}
+			for i, nb := range got {
+				if nb.ID != all[i].id || math.Abs(nb.Dist-all[i].d) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellHashDistinguishesNeighbours(t *testing.T) {
+	// Not a collision-freedom proof (collisions are tolerated by design) —
+	// just a sanity check that nearby small-coordinate cells, the common
+	// case, hash apart.
+	seen := map[uint64][]int{}
+	for x := -8; x <= 8; x++ {
+		for y := -8; y <= 8; y++ {
+			for z := -8; z <= 8; z++ {
+				h := cellHash([]int{x, y, z})
+				if prev, ok := seen[h]; ok {
+					t.Fatalf("collision: %v vs (%d,%d,%d)", prev, x, y, z)
+				}
+				seen[h] = []int{x, y, z}
+			}
+		}
+	}
+}
+
 func BenchmarkBruteNearest9D(b *testing.B) {
 	// The patch selector's unit of work: one candidate's distance against a
 	// growing selected set in 9-D (§4.4 Task 2).

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolves(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, 1, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForResultIndependentOfWorkerCount(t *testing.T) {
+	// The determinism contract: per-index outputs must be identical for any
+	// worker count when the body writes only its own indexes.
+	n := 500
+	ref := make([]float64, n)
+	For(n, 1, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = float64(i)*1.5 + 2
+		}
+	})
+	for _, workers := range []int{2, 3, 7, runtime.GOMAXPROCS(0)} {
+		got := make([]float64, n)
+		For(n, workers, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i)*1.5 + 2
+			}
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestForMinChunkKeepsSmallLoopsSerial(t *testing.T) {
+	var calls int32
+	For(10, 8, 100, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 10 {
+			t.Errorf("chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("minChunk ignored: %d chunks", calls)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate")
+		}
+	}()
+	For(100, 4, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
