@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet ci
+.PHONY: build test race bench vet lint ci
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,12 @@ test:
 
 # The selector engine's determinism contract is only believable under the
 # race detector: the equivalence tests spawn worker counts 1, 2, 7, and
-# GOMAXPROCS over shared candidate arrays.
+# GOMAXPROCS over shared candidate arrays. core/sched/kvstore/feedback are
+# the coordination layers — workflow manager, scheduler, network store,
+# feedback loop — whose tests drive real goroutine interleavings.
 race:
-	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/...
+	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
+		./internal/core/... ./internal/sched/... ./internal/kvstore/... ./internal/feedback/...
 
 # Paper-evaluation benchmarks (bench_test.go). -benchtime 3x keeps the
 # campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
@@ -24,6 +27,12 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the project's own analyzer suite
+# (determinism, lockdiscipline, errdiscipline — see internal/lint and
+# DESIGN.md "Lint invariants"). Non-zero exit on any finding.
+lint: vet
+	$(GO) run ./cmd/mummi-lint ./...
 
 ci:
 	./scripts/ci.sh

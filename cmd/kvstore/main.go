@@ -41,7 +41,9 @@ func main() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "kvstore: shutdown:", err)
+		}
 		return
 	}
 
@@ -49,7 +51,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer c.Close()
+	defer c.Close() //lint:allow errdiscipline -- process exits immediately after; nothing can act on a client close failure
 	switch cmd {
 	case "set":
 		if len(args) != 2 {

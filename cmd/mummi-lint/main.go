@@ -1,0 +1,134 @@
+// Command mummi-lint runs the project's static-analysis suite (package
+// internal/lint): determinism, lockdiscipline, and errdiscipline. It is
+// wired into `make lint` and scripts/ci.sh and exits non-zero on findings,
+// so a violated invariant fails the build rather than waiting for a test
+// to happen to trip over it.
+//
+// Usage:
+//
+//	mummi-lint [flags] [patterns]
+//
+//	patterns        ./...-style package patterns relative to the module
+//	                root (default ./...)
+//	-json           machine-readable output
+//	-analyzers      comma-separated subset (default: all)
+//	-errallow FILE  error-discipline allowlist (default: .errallow at the
+//	                module root, if present)
+//	-list           print the analyzers and exit
+//
+// Findings are suppressed with a `//lint:allow <analyzer> -- reason`
+// comment on the offending line or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mummi/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	analyzerList := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	errAllowPath := flag.String("errallow", "", "errdiscipline allowlist file (default: <module>/.errallow)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *analyzerList != "" {
+		var err error
+		analyzers, err = lint.ByName(*analyzerList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	mod, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	errAllow, err := loadErrAllow(*errAllowPath, mod.Root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	var findings []lint.Diagnostic
+	for _, pkg := range mod.Pkgs {
+		if !mod.Match(pkg, patterns) {
+			continue
+		}
+		findings = append(findings, lint.RunAnalyzers(pkg, analyzers, errAllow)...)
+	}
+	lint.SortDiagnostics(findings)
+
+	// Report paths relative to the working directory, like go vet.
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d.String())
+		}
+		if len(findings) > 0 {
+			fmt.Printf("mummi-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadErrAllow reads the allowlist: one FullName-style symbol pattern per
+// line, '#' comments, optional trailing '*' wildcard.
+func loadErrAllow(path, modRoot string) ([]string, error) {
+	if path == "" {
+		path = filepath.Join(modRoot, ".errallow")
+		if _, err := os.Stat(path); err != nil {
+			return nil, nil // optional default
+		}
+	}
+	out, err := lint.LoadErrAllow(path)
+	if err != nil {
+		return nil, fmt.Errorf("mummi-lint: reading allowlist: %w", err)
+	}
+	return out, nil
+}

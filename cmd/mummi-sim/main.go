@@ -21,6 +21,7 @@ import (
 	"mummi/internal/continuum"
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
+	"mummi/internal/errutil"
 	"mummi/internal/feedback"
 	"mummi/internal/fsstore"
 	"mummi/internal/mlenc"
@@ -59,7 +60,7 @@ func fatal(err error) {
 }
 
 // runContinuum evolves the macro model and writes a snapshot file.
-func runContinuum(args []string) error {
+func runContinuum(args []string) (err error) {
 	fs := flag.NewFlagSet("continuum", flag.ExitOnError)
 	grid := fs.Int("grid", 120, "grid resolution per side (paper: 2400)")
 	proteins := fs.Int("proteins", 30, "protein count")
@@ -83,7 +84,9 @@ func runContinuum(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The snapshot is buffered through the file: a failed close is a
+	// truncated snapshot and must fail the command.
+	defer errutil.CaptureClose(&err, f.Close)
 	n, err := snap.WriteTo(f)
 	if err != nil {
 		return err
@@ -105,7 +108,7 @@ func runPatches(args []string) error {
 		return err
 	}
 	snap, err := continuum.ReadSnapshot(f)
-	f.Close()
+	f.Close() //lint:allow errdiscipline -- read-side close; ReadSnapshot already surfaced any data error
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"mummi/internal/errutil"
 	"mummi/internal/taridx"
 )
 
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	if len(args) < 2 {
 		return usage()
 	}
@@ -52,7 +53,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		return a.Put(args[2], data)
 	case "get":
 		if len(args) < 3 {
@@ -62,7 +63,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		b, err := a.Get(args[2])
 		if err != nil {
 			return err
@@ -74,7 +75,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		for _, k := range a.Keys() {
 			fmt.Println(k)
 		}
@@ -87,14 +88,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		return a.Delete(args[2])
 	case "stats":
 		a, err := taridx.Open(path)
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		s := a.Stats()
 		fmt.Printf("keys=%d appends=%d reads=%d bytes_read=%d archive_bytes=%d\n",
 			s.Keys, s.Appends, s.Reads, s.BytesRead, s.ArchiveLen)
@@ -109,7 +110,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer a.Close()
+		defer errutil.CaptureClose(&err, a.Close)
 		fmt.Printf("rebuilt index: %d keys\n", a.Len())
 		return nil
 	default:

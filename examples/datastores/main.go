@@ -109,6 +109,8 @@ func main() {
 		fmt.Printf("%-7s %d patches written, decoded %q (%d species), %d active / %d processed, %v\n",
 			cfg.Backend+":", len(patches), decoded.ID, len(decoded.Fields),
 			len(remaining), len(done), time.Since(start).Round(time.Microsecond))
-		store.Close()
+		if err := store.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

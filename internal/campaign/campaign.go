@@ -298,7 +298,13 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 			}
 			delete(c.active, victim)
 			c.res.InjectedFailures++
-			_ = s.Fail(victim)
+			if err := s.Fail(victim); err != nil {
+				// The victim was picked from the active set, so the
+				// scheduler disagreeing about its state is a coordination
+				// anomaly worth keeping, not a failure of the run.
+				c.res.Anomalies = append(c.res.Anomalies,
+					fmt.Sprintf("fail-injection job %d: %v", victim, err))
+			}
 		})
 	}
 

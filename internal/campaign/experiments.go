@@ -11,6 +11,7 @@ import (
 	"mummi/internal/cluster"
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
+	"mummi/internal/errutil"
 	"mummi/internal/feedback"
 	"mummi/internal/fsstore"
 	"mummi/internal/kvstore"
@@ -45,7 +46,7 @@ type Fig7Row struct {
 // Fig7KVQueries stands up a KV cluster (the paper used 20 Redis nodes),
 // loads it with RDF-sized frames, and measures key retrieval, value
 // retrieval, and deletion for each frame count.
-func Fig7KVQueries(frameCounts []int, clusterNodes, valueBytes int) ([]Fig7Row, error) {
+func Fig7KVQueries(frameCounts []int, clusterNodes, valueBytes int) (_ []Fig7Row, err error) {
 	addrs, shutdown, err := kvstore.LaunchCluster(clusterNodes)
 	if err != nil {
 		return nil, err
@@ -55,7 +56,7 @@ func Fig7KVQueries(frameCounts []int, clusterNodes, valueBytes int) ([]Fig7Row, 
 	if err != nil {
 		return nil, err
 	}
-	defer c.Close()
+	defer errutil.CaptureClose(&err, c.Close)
 
 	value := make([]byte, valueBytes)
 	rand.New(rand.NewSource(1)).Read(value)
@@ -301,13 +302,15 @@ func (r TaridxResult) MBPerSec() float64 {
 // Summit's GPFS; local disk is faster — the shape claim is that archives
 // deliver sequential-class throughput under random access while occupying
 // two inodes).
-func TaridxThroughput(dir string, files, fileBytes int) (TaridxResult, error) {
+func TaridxThroughput(dir string, files, fileBytes int) (_ TaridxResult, err error) {
 	res := TaridxResult{Files: files, FileBytes: fileBytes}
 	a, err := taridx.Open(filepath.Join(dir, "bench.tar"))
 	if err != nil {
 		return res, err
 	}
-	defer a.Close()
+	// The archive is append-mode: a failed close can mean lost index
+	// appends, so it must surface in the benchmark result.
+	defer errutil.CaptureClose(&err, a.Close)
 	payload := make([]byte, fileBytes)
 	rand.New(rand.NewSource(2)).Read(payload)
 
@@ -380,7 +383,7 @@ const GPFSOpLatency = 200 * time.Microsecond
 // runs one full feedback iteration against each. The paper's prior
 // filesystem-based feedback took ~2 h per iteration; moving to Redis
 // brought it under 10 min (>12×).
-func Feedback12x(dir string, frames int) (FeedbackCompareResult, error) {
+func Feedback12x(dir string, frames int) (_ FeedbackCompareResult, err error) {
 	res := FeedbackCompareResult{Frames: frames}
 	gen := func(store datastore.Store) error {
 		g := sim.NewCGSim("cmp", 8, 1, nil, 9)
@@ -421,7 +424,7 @@ func Feedback12x(dir string, frames int) (FeedbackCompareResult, error) {
 	if err != nil {
 		return res, err
 	}
-	defer fs.Close()
+	defer errutil.CaptureClose(&err, fs.Close)
 	if err := gen(fs); err != nil {
 		return res, err
 	}
@@ -439,7 +442,7 @@ func Feedback12x(dir string, frames int) (FeedbackCompareResult, error) {
 		return res, err
 	}
 	kv := kvstore.NewStore(kvc)
-	defer kv.Close()
+	defer errutil.CaptureClose(&err, kv.Close)
 	if err := gen(kv); err != nil {
 		return res, err
 	}

@@ -71,6 +71,12 @@ type Result struct {
 	// (all resubmitted by the workflow; see Config.FailuresPerDay).
 	InjectedFailures int `json:"injected_failures"`
 
+	// Anomalies records coordination errors that were survivable but must
+	// not vanish (errdiscipline): e.g. a failure-injection victim that the
+	// scheduler no longer considered running. An empty list is the normal
+	// case; a replay that produces a different list has diverged.
+	Anomalies []string `json:"anomalies,omitempty"`
+
 	// Derived headline statistics, filled by finalize.
 	GPUAtLeast98Frac float64 `json:"gpu_at_least_98_frac"`
 	GPUMeanPct       float64 `json:"gpu_mean_pct"`

@@ -540,11 +540,27 @@ type Checkpointer interface {
 	Checkpoint() ([]byte, error)
 }
 
+// sortedJobIDsLocked returns the live job IDs in ascending order — the
+// only sanctioned way to sweep w.jobs (the determinism analyzer rejects a
+// bare map range here). Caller holds mu.
+func (w *Workflow) sortedJobIDsLocked() []sched.JobID {
+	ids := make([]sched.JobID, 0, len(w.jobs))
+	for id := range w.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Checkpoint serializes the WM's recoverable state.
 func (w *Workflow) Checkpoint() ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var ck checkpoint
+	// Deterministic checkpoint: job-map iteration order must not leak into
+	// the restore order (campaign replays depend on it). One sorted sweep
+	// serves every coupling.
+	ids := w.sortedJobIDsLocked()
 	for _, cs := range w.couplings {
 		c := couplingCkpt{
 			Name:      cs.spec.Name,
@@ -553,13 +569,6 @@ func (w *Workflow) Checkpoint() ([]byte, error) {
 			Launched:  cs.launched,
 			Completed: cs.completed,
 		}
-		// Deterministic checkpoint: job-map iteration order must not leak
-		// into the restore order (campaign replays depend on it).
-		ids := make([]sched.JobID, 0, len(w.jobs))
-		for id := range w.jobs {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			rec := w.jobs[id]
 			if w.couplings[rec.coupling] != cs {

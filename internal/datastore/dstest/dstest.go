@@ -23,7 +23,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("PutGetRoundTrip", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		want := []byte("rdf-frame-0001")
 		if err := s.Put("rdfs", "f1", want); err != nil {
 			t.Fatal(err)
@@ -39,7 +39,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("GetMissing", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		if _, err := s.Get("ns", "absent"); !errors.Is(err, datastore.ErrNotFound) {
 			t.Errorf("Get missing = %v, want ErrNotFound", err)
 		}
@@ -49,7 +49,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 		// The paper's archiving strategy: "the same key gets reinserted and
 		// is taken to be the correct value".
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		for i := 0; i < 3; i++ {
 			if err := s.Put("ns", "k", []byte(fmt.Sprintf("v%d", i))); err != nil {
 				t.Fatal(err)
@@ -73,7 +73,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("EmptyValue", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		if err := s.Put("ns", "empty", nil); err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("BinaryValue", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		blob := make([]byte, 4096)
 		rand.New(rand.NewSource(7)).Read(blob)
 		if err := s.Put("bin", "blob", blob); err != nil {
@@ -105,7 +105,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("DeleteThenGetFails", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		if err := s.Put("ns", "k", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("KeysListsNamespaceOnly", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		for i := 0; i < 5; i++ {
 			if err := s.Put("a", fmt.Sprintf("k%d", i), []byte("x")); err != nil {
 				t.Fatal(err)
@@ -151,7 +151,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 	t.Run("MoveTagsProcessedFrames", func(t *testing.T) {
 		// Task 4's tagging: processed frames leave the active namespace.
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		if err := s.Put("new", "frame1", []byte("rdf")); err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("MoveOverwritesDestination", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		if err := s.Put("src", "k", []byte("new")); err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +196,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("ManyKeysScanExact", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		const n = 200
 		for i := 0; i < n; i++ {
 			if err := s.Put("bulk", fmt.Sprintf("key-%04d", i), []byte{byte(i)}); err != nil {
@@ -220,7 +220,7 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 
 	t.Run("ConcurrentPutGet", func(t *testing.T) {
 		s := mk(t)
-		defer s.Close()
+		defer closeStore(t, s)
 		const workers = 8
 		var wg sync.WaitGroup
 		errs := make(chan error, workers)
@@ -259,4 +259,14 @@ func Run(t *testing.T, mk func(t *testing.T) datastore.Store) {
 			t.Errorf("Keys = %d, want %d", len(keys), workers*25)
 		}
 	})
+}
+
+// closeStore closes s at the end of a subtest and fails the test if the
+// backend reports a close error — a store that cannot flush cleanly has
+// lost data (errdiscipline).
+func closeStore(t *testing.T, s datastore.Store) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
 }

@@ -3,6 +3,7 @@ package dynim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -155,6 +156,7 @@ func (b *Binned) Select(n int) []Point {
 // ties broken by bin index for determinism. Caller holds the lock.
 func (b *Binned) leastOccupiedNonEmpty() int {
 	best, bestOcc := -1, 0
+	//lint:allow determinism -- min-reduction with a total-order tie-break on bin index; the result is iteration-order independent
 	for bin := range b.queued {
 		occ := b.occupancy[bin]
 		if best < 0 || occ < bestOcc || (occ == bestOcc && bin < best) {
@@ -173,7 +175,7 @@ func (b *Binned) randomNonEmpty() int {
 	for bin := range b.queued {
 		bins = append(bins, bin)
 	}
-	sortInts(bins)
+	sort.Ints(bins)
 	for _, bin := range bins {
 		if k < len(b.queued[bin]) {
 			return bin
@@ -181,14 +183,6 @@ func (b *Binned) randomNonEmpty() int {
 		k -= len(b.queued[bin])
 	}
 	return bins[len(bins)-1]
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Len implements Selector.
@@ -222,7 +216,7 @@ func (b *Binned) Checkpoint() ([]byte, error) {
 	for bin := range b.queued {
 		bins = append(bins, bin)
 	}
-	sortInts(bins)
+	sort.Ints(bins)
 	for _, bin := range bins {
 		s.Candidates = append(s.Candidates, b.queued[bin]...)
 	}

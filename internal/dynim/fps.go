@@ -679,6 +679,7 @@ func NewQueueSet(dim, capacity int) *QueueSet {
 func (q *QueueSet) SetWorkers(n int) {
 	q.mu.Lock()
 	q.workers = n
+	//lint:allow determinism -- applies the same knob to every queue; iteration order cannot affect state
 	for _, fp := range q.queues {
 		fp.SetWorkers(n)
 	}
@@ -765,6 +766,7 @@ func (q *QueueSet) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	total := 0
+	//lint:allow determinism -- commutative sum; iteration order cannot affect the total
 	for _, fp := range q.queues {
 		total += fp.Len()
 	}
@@ -782,6 +784,7 @@ func (q *QueueSet) Queues() []string {
 func (q *QueueSet) DisableJournal() {
 	q.mu.Lock()
 	q.noJournal = true
+	//lint:allow determinism -- applies the same knob to every queue; iteration order cannot affect state
 	for _, fp := range q.queues {
 		fp.DisableJournal()
 	}

@@ -1,0 +1,22 @@
+// Package errutil holds the error-discipline helpers the mummi-lint
+// errdiscipline analyzer pushes call sites toward: instead of discarding a
+// cleanup error (`defer f.Close()`), join it into the function's result so
+// a failed flush or close surfaces to the caller like any other failure.
+package errutil
+
+import "errors"
+
+// CaptureClose runs close and joins a non-nil result into *errp. Intended
+// for defers in functions with a named error return:
+//
+//	func load(path string) (err error) {
+//		f, err := os.Open(path)
+//		...
+//		defer errutil.CaptureClose(&err, f.Close)
+//
+// If both the body and the close fail, errors.Join preserves both.
+func CaptureClose(errp *error, close func() error) {
+	if cerr := close(); cerr != nil {
+		*errp = errors.Join(*errp, cerr)
+	}
+}

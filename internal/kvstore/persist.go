@@ -108,7 +108,7 @@ func (e *Engine) SaveFile(path string) error {
 		return err
 	}
 	if err := e.Save(f); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -125,6 +125,7 @@ func (e *Engine) LoadFile(path string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow errdiscipline -- read-side close: Load already surfaced any data error
 	defer f.Close()
 	return e.Load(f)
 }

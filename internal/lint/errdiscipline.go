@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscipline flags silently discarded errors across the whole module.
+// The workflow manager's resilience story (§4.4: "automatically restores
+// relevant data and processes ... resubmits failed ones") depends on every
+// error reaching either a handler or a recorded counter; a swallowed error
+// is a silent divergence between the real campaign and its replay. Two
+// shapes are flagged:
+//
+//  1. a call used as a bare statement (also via go/defer) whose result set
+//     includes an error;
+//  2. an assignment that binds an error result to the blank identifier
+//     (`_ = f()`, `v, _ := g()` where the second result is an error).
+//
+// Intentional discards go through the allowlist — either the built-in
+// entries for never-failing stdlib writers, the module's .errallow file
+// (one symbol pattern per line, as printed by (*types.Func).FullName, with
+// an optional trailing *), or a //lint:allow errdiscipline annotation at
+// the call site.
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "flags discarded errors: bare calls of error-returning functions and error results bound to _",
+	Run:  runErrDiscipline,
+}
+
+// builtinErrAllow covers stdlib calls whose error is dead by specification
+// (strings.Builder and bytes.Buffer never return a non-nil error) or whose
+// failure the process cannot meaningfully handle (printing to stdout).
+var builtinErrAllow = []string{
+	"fmt.Print", "fmt.Printf", "fmt.Println",
+	"(*strings.Builder).*",
+	"(*bytes.Buffer).*",
+	"(*math/rand.Rand).Read",
+}
+
+func runErrDiscipline(pass *Pass) {
+	e := &errVisitor{pass: pass, allow: append(append([]string{}, builtinErrAllow...), pass.ErrAllow...)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					e.checkBareCall(call, "bare call of")
+				}
+			case *ast.DeferStmt:
+				e.checkBareCall(n.Call, "deferred call of")
+			case *ast.GoStmt:
+				e.checkBareCall(n.Call, "go statement on")
+			case *ast.AssignStmt:
+				e.checkAssign(n)
+			}
+			return true
+		})
+	}
+}
+
+type errVisitor struct {
+	pass  *Pass
+	allow []string
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errType)
+}
+
+// errorResultIndexes returns the positions of error-typed results in a
+// call's result tuple (single results count as index 0).
+func (e *errVisitor) errorResultIndexes(call *ast.CallExpr) []int {
+	t := e.pass.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErrorType(t) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func (e *errVisitor) checkBareCall(call *ast.CallExpr, how string) {
+	if len(e.errorResultIndexes(call)) == 0 {
+		return
+	}
+	name := e.calleeName(call)
+	if e.allowed(name) {
+		return
+	}
+	e.pass.Reportf(call.Pos(),
+		"%s %s silently discards its error; handle it, record it, or allowlist the callee in .errallow",
+		how, name)
+}
+
+func (e *errVisitor) checkAssign(as *ast.AssignStmt) {
+	// Single call with multiple results: x, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, idx := range e.errorResultIndexes(call) {
+			if idx < len(as.Lhs) && isBlank(as.Lhs[idx]) {
+				e.reportBlank(call)
+			}
+		}
+		return
+	}
+	// Pairwise assignments: _ = f(), g().
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBlank(as.Lhs[i]) {
+				continue
+			}
+			if idxs := e.errorResultIndexes(call); len(idxs) > 0 {
+				e.reportBlank(call)
+			}
+		}
+	}
+}
+
+func (e *errVisitor) reportBlank(call *ast.CallExpr) {
+	name := e.calleeName(call)
+	if e.allowed(name) {
+		return
+	}
+	e.pass.Reportf(call.Pos(),
+		"error result of %s is assigned to _; handle it, record it, or allowlist the callee in .errallow", name)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeName resolves the called symbol to its FullName form
+// ("fmt.Fprintf", "(*os.File).Close", "(mummi/internal/sched.Scheduler).Fail")
+// for allowlist matching; unresolvable callees (func values, method
+// values) get a positional description and can only be suppressed inline.
+func (e *errVisitor) calleeName(call *ast.CallExpr) string {
+	fun := ast.Unparen(call.Fun)
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = e.pass.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = e.pass.Info.Uses[fn.Sel]
+	}
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	return "this call"
+}
+
+func (e *errVisitor) allowed(name string) bool {
+	for _, pat := range e.allow {
+		if pat == "" || strings.HasPrefix(pat, "#") {
+			continue
+		}
+		if prefix, ok := strings.CutSuffix(pat, "*"); ok {
+			if strings.HasPrefix(name, prefix) {
+				return true
+			}
+		} else if name == pat {
+			return true
+		}
+	}
+	return false
+}

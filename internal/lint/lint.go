@@ -1,0 +1,221 @@
+// Package lint is a from-scratch static-analysis framework for the MuMMI
+// codebase, built entirely on the stdlib go/parser + go/ast + go/types
+// stack (no golang.org/x/tools dependency). It exists because two of the
+// project's load-bearing invariants — the §4.4 locking discipline of the
+// workflow manager and the PR 1 determinism contract of the selector
+// engine — were previously enforced only by the tests that happened to
+// exercise them. The analyzers here turn those invariants into properties
+// checked on every build.
+//
+// Three project-specific analyzers ship with the framework:
+//
+//   - determinism: no iteration-order, RNG, or wall-clock nondeterminism
+//     inside the determinism-contracted packages (dynim, knn, parallel,
+//     core).
+//   - lockdiscipline: every Lock has an unlock on all return paths, no
+//     blocking operations while a mutex is held, no by-value copies of
+//     lock-bearing structs (core, sched).
+//   - errdiscipline: no silently discarded errors anywhere in the module,
+//     modulo an explicit allowlist.
+//
+// Findings can be suppressed with a
+//
+//	//lint:allow <analyzer> [<analyzer>...] -- <reason>
+//
+// comment on the offending line or the line directly above it; the reason
+// is mandatory by convention (the self-clean test keeps the repo honest).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant checker. Run inspects a single
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope decides whether the analyzer applies to a package (by import
+	// path). A nil Scope means every package in the module.
+	Scope func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ErrAllow is the error-discipline allowlist (symbol patterns); only
+	// the errdiscipline analyzer consults it.
+	ErrAllow []string
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shortcut for p.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, LockDiscipline, ErrDiscipline}
+}
+
+// ByName resolves a comma-separated analyzer list ("determinism,errdiscipline").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Suppression: //lint:allow <name>... [-- reason]
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z, ]+?)\s*(?:--.*)?$`)
+
+// suppressions maps file name -> line -> set of allowed analyzer names. A
+// comment suppresses findings on its own line and on the line directly
+// below it (covering both trailing and standalone comment placement).
+type suppressions map[string]map[int]map[string]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ' ' || r == ','
+				}) {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = map[string]bool{}
+						}
+						byLine[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) allows(d Diagnostic) bool {
+	byLine := s[d.File]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[d.Line]
+	return names[d.Analyzer] || names["all"]
+}
+
+// ---------------------------------------------------------------------------
+// Running
+
+// RunAnalyzers applies each in-scope analyzer to pkg, filters suppressed
+// findings, and returns the rest sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, errAllow []string) []Diagnostic {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			ErrAllow: errAllow,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !sup.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		if ds[i].Line != ds[j].Line {
+			return ds[i].Line < ds[j].Line
+		}
+		if ds[i].Col != ds[j].Col {
+			return ds[i].Col < ds[j].Col
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

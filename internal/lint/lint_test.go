@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/src/<analyzer>/ carry `want "regex"`
+// comments on every line where the analyzer must report. The harness
+// checks both directions: every diagnostic matches a want, and every want
+// is matched by a diagnostic.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type wantDiag struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadTestPackage parses and type-checks one testdata directory as a
+// single package under importPath (chosen so the analyzer's Scope accepts
+// it), using only the stdlib source importer — the same stack the real
+// driver uses.
+func loadTestPackage(t *testing.T, dir, importPath string) (*Package, []wantDiag) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: dir, ImportPath: importPath, Fset: fset}
+	var wants []wantDiag
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, wantDiag{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	if err := typeCheck(fset, pkg, importer.ForCompiler(fset, "source", nil)); err != nil {
+		t.Fatal(err)
+	}
+	return pkg, wants
+}
+
+// runGolden applies one analyzer to its golden package and verifies the
+// diagnostics against the want comments bidirectionally.
+func runGolden(t *testing.T, a *Analyzer, dirName, importPath string, errAllow []string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", dirName)
+	pkg, wants := loadTestPackage(t, dir, importPath)
+	if a.Scope != nil && !a.Scope(importPath) {
+		t.Fatalf("test import path %q is outside %s's scope", importPath, a.Name)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{a}, errAllow)
+	for _, d := range diags {
+		found := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.matched && w.line == d.Line && w.file == d.File && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, Determinism, "determinism", "lab/internal/dynim", nil)
+}
+
+func TestLockDisciplineGolden(t *testing.T) {
+	runGolden(t, LockDiscipline, "lockdiscipline", "lab/internal/core", nil)
+}
+
+func TestErrDisciplineGolden(t *testing.T) {
+	runGolden(t, ErrDiscipline, "errdiscipline", "errprog", []string{"os.RemoveAll"})
+}
+
+// TestScopeFiltersPackages re-runs the determinism golden package under an
+// import path outside the analyzer's scope: RunAnalyzers must produce
+// nothing even though the source is full of violations.
+func TestScopeFiltersPackages(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "determinism")
+	pkg, _ := loadTestPackage(t, dir, "lab/internal/feedback")
+	if diags := RunAnalyzers(pkg, []*Analyzer{Determinism}, nil); len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestSuppressionPlacement pins down the two blessed comment placements:
+// trailing on the offending line, or standalone on the line above. A
+// comment two lines up must NOT suppress.
+func TestSuppressionPlacement(t *testing.T) {
+	const src = `package p
+
+import "time"
+
+func trailing() int64 {
+	return time.Now().UnixNano() //lint:allow determinism -- trailing placement
+}
+
+func above() int64 {
+	//lint:allow determinism -- standalone placement
+	return time.Now().UnixNano()
+}
+
+func tooFar() int64 {
+	//lint:allow determinism -- two lines up: must not suppress
+
+	return time.Now().UnixNano()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: ".", ImportPath: "lab/internal/dynim", Fset: fset, Files: []*ast.File{f}}
+	if err := typeCheck(fset, pkg, importer.ForCompiler(fset, "source", nil)); err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{Determinism}, nil)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the tooFar finding to survive, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Line != 17 {
+		t.Errorf("surviving finding at line %d, want 17 (tooFar)", diags[0].Line)
+	}
+}
+
+// TestRepoIsLintClean loads the real module and runs the full suite with
+// the repo's .errallow: the codebase must stay finding-free, exactly as
+// `go run ./cmd/mummi-lint ./...` enforces in CI.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errAllow []string
+	allowPath := filepath.Join(mod.Root, ".errallow")
+	if _, err := os.Stat(allowPath); err == nil {
+		errAllow, err = LoadErrAllow(allowPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, d := range RunAnalyzers(pkg, All(), errAllow) {
+			t.Errorf("repo not lint-clean: %s", d)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package dyn is analyzer test input: each `want "regex"` comment marks a
+// line where the determinism analyzer must report, and every report must
+// be matched by a want comment (see lint_test.go).
+package dyn
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// rankAll folds over a map in iteration order — the exact bug class that
+// made selector replays diverge before PR 1.
+func rankAll(scores map[string]float64) float64 {
+	total := 0.0
+	for _, v := range scores { // want "map iteration order is nondeterministic"
+		total *= 0.5
+		total += v
+	}
+	return total
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func drain(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// sortedKeys is the sweep idiom — collect, sort, then use — and must NOT
+// be flagged.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seeded constructs a component-owned stream; constructors are exempt.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// suppressed shows the annotation escape hatch: no diagnostic may survive.
+func suppressed(m map[int]int) int {
+	n := 0
+	//lint:allow determinism -- commutative count; iteration order cannot matter
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package errprog is analyzer test input for errdiscipline (see
+// lint_test.go). The harness runs it with an allowlist of {"os.RemoveAll"}.
+package errprog
+
+import (
+	"os"
+	"strings"
+)
+
+func bare(f *os.File) {
+	f.Close() // want "bare call"
+}
+
+func blankAssign() {
+	_ = os.Remove("x") // want "assigned to _"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "deferred call"
+}
+
+func multiResult() {
+	f, _ := os.Create("x") // want "assigned to _"
+	_ = f
+}
+
+// allowedByBuiltin: (*strings.Builder).* is on the built-in allowlist
+// because its methods are documented to never return an error.
+func allowedByBuiltin(b *strings.Builder) {
+	b.WriteString("ok")
+}
+
+// allowedByFile: os.RemoveAll is on the harness's allowlist.
+func allowedByFile() {
+	os.RemoveAll("scratch")
+}
+
+// suppressed shows the annotation escape hatch: no diagnostic may survive.
+func suppressed(f *os.File) {
+	f.Close() //lint:allow errdiscipline -- fixture: read-side close
+}

@@ -290,6 +290,7 @@ func (s *Scheduler) startLocked(job *Job, alloc cluster.Alloc) {
 	s.timeline = append(s.timeline, Placement{Time: job.StartTime, Job: job.ID})
 	if job.Req.Duration > 0 {
 		id := job.ID
+		//lint:allow errdiscipline -- auto-completion may race a manual Complete/Fail; finish is idempotent and the only error is the benign "already terminal"
 		s.clk.After(job.Req.Duration, func() { s.finish(id, Completed) })
 	}
 }

@@ -86,16 +86,13 @@ func Open(path string) (*Archive, error) {
 		// Journal absent or damaged: rebuild from the tar, then rewrite a
 		// fresh journal reflecting what we found.
 		if err := a.rebuildFromTar(); err != nil {
-			f.Close()
-			return nil, err
+			return nil, errors.Join(err, f.Close())
 		}
 		if err := a.rewriteIndex(); err != nil {
-			f.Close()
-			return nil, err
+			return nil, errors.Join(err, f.Close())
 		}
 	} else if err := a.openIndexForAppend(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return a, nil
 }
@@ -119,6 +116,7 @@ func (a *Archive) loadIndex() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	//lint:allow errdiscipline -- read-side close of the journal; scan errors already surfaced
 	defer idx.Close()
 	sc := bufio.NewScanner(idx)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -199,13 +197,11 @@ func (a *Archive) rewriteIndex() error {
 	enc := json.NewEncoder(w)
 	for k, e := range a.index {
 		if err := enc.Encode(indexRecord{Key: k, Off: e.Off, Size: e.Size}); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err
