@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet lint ci
+.PHONY: build test race bench vet lint trace ci
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,8 @@ test:
 # feedback loop — whose tests drive real goroutine interleavings.
 race:
 	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
-		./internal/core/... ./internal/sched/... ./internal/kvstore/... ./internal/feedback/...
+		./internal/core/... ./internal/sched/... ./internal/kvstore/... \
+		./internal/feedback/... ./internal/telemetry/...
 
 # Paper-evaluation benchmarks (bench_test.go). -benchtime 3x keeps the
 # campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
@@ -33,6 +34,15 @@ vet:
 # DESIGN.md "Lint invariants"). Non-zero exit on any finding.
 lint: vet
 	$(GO) run ./cmd/mummi-lint ./...
+
+# Observability demo: replay a small campaign with tracing, metrics, and a
+# heartbeat, validate the artifacts, and leave trace.json ready to open in
+# Perfetto (https://ui.perfetto.dev) or chrome://tracing. See
+# docs/OBSERVABILITY.md.
+trace:
+	$(GO) run ./cmd/mummi-sim campaign -scale 0.05 -heartbeat 4h \
+		-trace trace.json -metrics metrics.json
+	$(GO) run ./scripts/tracecheck trace.json metrics.json
 
 ci:
 	./scripts/ci.sh

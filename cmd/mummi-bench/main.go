@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mummi/internal/campaign"
+	"mummi/internal/telemetry"
 )
 
 func main() {
@@ -38,9 +39,11 @@ func main() {
 	full := flag.Bool("full", false, "run systems experiments at full paper scale (slower)")
 	workers := flag.Int("workers", 0, "selector rank-update fan-out (0 = GOMAXPROCS; output identical for any value)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object of per-experiment metrics instead of text")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut); err != nil {
+	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, &tf); err != nil {
 		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
 		os.Exit(1)
 	}
@@ -57,7 +60,7 @@ type report struct {
 	Experiments map[string]map[string]float64 `json:"experiments"`
 }
 
-func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool) error {
+func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, tf *telemetry.Flags) error {
 	valid := map[string]bool{"all": true, "table1": true, "fig3": true,
 		"fig4": true, "fig5": true, "fig6": true, "counts": true,
 		"fig7": true, "fig8": true, "fluxfix": true, "taridx": true,
@@ -85,11 +88,29 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 
 	needCampaign := all || want["table1"] || want["fig3"] || want["fig4"] ||
 		want["fig5"] || want["fig6"] || want["counts"]
+	// The observability flags attach to the shared campaign replay, so a
+	// perf-trajectory run can ship a trace/metrics artifact alongside its
+	// BENCH_*.json.
+	tel, srv, err := tf.Build()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := tf.Finish(tel, srv); err != nil {
+			fmt.Fprintln(os.Stderr, "mummi-bench:", err)
+		}
+	}()
+
 	var res *campaign.Result
 	if needCampaign {
 		cfg := campaign.DefaultConfig()
 		cfg.Seed = seed
 		cfg.SelectorWorkers = workers
+		cfg.Telemetry = tel
+		if tf.HeartbeatEvery > 0 {
+			cfg.HeartbeatEvery = tf.HeartbeatEvery
+			cfg.HeartbeatWriter = os.Stderr
+		}
 		if scale < 1.0 {
 			cfg.Runs = campaign.ScaledRuns(scale)
 		}

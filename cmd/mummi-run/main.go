@@ -11,6 +11,11 @@
 //	    {"nodes": 1000, "wall": "24h", "count": 20}
 //	  ]
 //	}
+//
+// The observability flags (-trace, -metrics, -metrics-addr, -heartbeat)
+// record the replay's telemetry; see docs/OBSERVABILITY.md:
+//
+//	mummi-run -scale 0.05 -trace trace.json -metrics metrics.json -heartbeat 1h
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"mummi/internal/campaign"
+	"mummi/internal/telemetry"
 )
 
 // fileConfig is the JSON shape of -config (durations as strings).
@@ -40,6 +46,10 @@ func main() {
 	cfgPath := flag.String("config", "", "JSON campaign configuration (empty = paper schedule)")
 	scale := flag.Float64("scale", 0.25, "paper-schedule scale when no -config is given")
 	seed := flag.Int64("seed", 1, "seed when no -config is given")
+	feedbackEvery := flag.Duration("feedback-every", 30*time.Minute,
+		"Task-4 feedback cadence in campaign virtual time (0 = off)")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := campaign.DefaultConfig()
@@ -75,6 +85,20 @@ func main() {
 		cfg.Runs = campaign.ScaledRuns(*scale)
 	}
 
+	tel, srv, err := tf.Build()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Telemetry = tel
+	cfg.FeedbackEvery = *feedbackEvery
+	if tf.HeartbeatEvery > 0 {
+		cfg.HeartbeatEvery = tf.HeartbeatEvery
+		cfg.HeartbeatWriter = os.Stderr
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "mummi-run: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
 	start := time.Now()
 	res, err := campaign.Run(cfg)
 	if err != nil {
@@ -84,6 +108,19 @@ func main() {
 	fmt.Println(res.Table1Text())
 	fmt.Println(res.CountsText())
 	fmt.Println(res.Fig5Text())
+
+	if err := tf.Finish(tel, srv); err != nil {
+		fatal(err)
+	}
+	if tel != nil {
+		if tf.TracePath != "" {
+			fmt.Printf("trace: %d spans (%d dropped) -> %s\n",
+				tel.Tracer().Len(), tel.Tracer().Dropped(), tf.TracePath)
+		}
+		if tf.MetricsPath != "" {
+			fmt.Printf("metrics: snapshot -> %s\n", tf.MetricsPath)
+		}
+	}
 }
 
 func fatal(err error) {

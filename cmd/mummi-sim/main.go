@@ -9,6 +9,11 @@
 //	mummi-sim select    -indir patches/ -n 8
 //	mummi-sim cg        -id sim01 -frames 50 -outdir frames/
 //	mummi-sim feedback  -indir frames/ -species 14
+//
+// The campaign subcommand replays a small scaled campaign with the full
+// observability surface (see docs/OBSERVABILITY.md):
+//
+//	mummi-sim campaign -scale 0.05 -trace trace.json -metrics metrics.json
 package main
 
 import (
@@ -17,7 +22,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"mummi/internal/campaign"
 	"mummi/internal/continuum"
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
@@ -27,12 +34,13 @@ import (
 	"mummi/internal/mlenc"
 	"mummi/internal/patch"
 	"mummi/internal/sim"
+	"mummi/internal/telemetry"
 	"mummi/internal/units"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatal(fmt.Errorf("usage: mummi-sim continuum|patches|select|cg|feedback [flags]"))
+		fatal(fmt.Errorf("usage: mummi-sim continuum|patches|select|cg|feedback|campaign [flags]"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -46,6 +54,8 @@ func main() {
 		err = runCG(os.Args[2:])
 	case "feedback":
 		err = runFeedback(os.Args[2:])
+	case "campaign":
+		err = runCampaign(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown component %q", os.Args[1])
 	}
@@ -57,6 +67,60 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mummi-sim:", err)
 	os.Exit(1)
+}
+
+// runCampaign replays a scaled campaign with observability on — the
+// example campaign of docs/OBSERVABILITY.md. The default scale finishes in
+// seconds on a laptop while still exercising every instrumented layer
+// (all four workflow-manager tasks, the scheduler, and the feedback store).
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "paper-schedule scale factor (1.0 = full 600,600 node-hours)")
+	seed := fs.Int64("seed", 1, "seed")
+	feedbackEvery := fs.Duration("feedback-every", 30*time.Minute,
+		"Task-4 feedback cadence in campaign virtual time (0 = off)")
+	var tf telemetry.Flags
+	tf.Register(fs)
+	fs.Parse(args)
+
+	tel, srv, err := tf.Build()
+	if err != nil {
+		return err
+	}
+	cfg := campaign.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Runs = campaign.ScaledRuns(*scale)
+	cfg.Telemetry = tel
+	cfg.FeedbackEvery = *feedbackEvery
+	if tf.HeartbeatEvery > 0 {
+		cfg.HeartbeatEvery = tf.HeartbeatEvery
+		cfg.HeartbeatWriter = os.Stderr
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "campaign: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d runs, %v replayed in %v\n",
+		res.RunsDone, res.TotalNodeHours, time.Since(start).Round(time.Millisecond))
+
+	if err := tf.Finish(tel, srv); err != nil {
+		return err
+	}
+	if tel != nil {
+		if tf.TracePath != "" {
+			fmt.Printf("campaign: trace %d spans (%d dropped) -> %s\n",
+				tel.Tracer().Len(), tel.Tracer().Dropped(), tf.TracePath)
+		}
+		if tf.MetricsPath != "" {
+			fmt.Printf("campaign: metrics snapshot -> %s\n", tf.MetricsPath)
+		}
+	}
+	return nil
 }
 
 // runContinuum evolves the macro model and writes a snapshot file.

@@ -5,15 +5,18 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"mummi/internal/cluster"
 	"mummi/internal/core"
+	"mummi/internal/datastore"
 	"mummi/internal/dynim"
 	"mummi/internal/maestro"
 	"mummi/internal/profile"
 	"mummi/internal/sched"
 	"mummi/internal/sim"
+	"mummi/internal/telemetry"
 	"mummi/internal/units"
 	"mummi/internal/vclock"
 )
@@ -50,10 +53,19 @@ type Campaign struct {
 	cfg Config
 	clk *vclock.Virtual
 	rng *rand.Rand
+	tel *telemetry.Telemetry
 
 	patchSel dynim.Selector
 	queueSet *dynim.QueueSet
 	frameSel *dynim.Binned
+
+	// Task-4 state (wired when Config.FeedbackEvery > 0): frame records
+	// flow through fbStore's active namespaces and the modeled managers
+	// move them out ("tagging"). fbSeq numbers records deterministically.
+	fbStore datastore.Store
+	cgFB    *modeledFeedback
+	aaFB    *modeledFeedback
+	fbSeq   int64
 
 	recs    map[string]*simRecord
 	walks   [][]float64 // per-protein 9-D encodings, random-walking
@@ -90,12 +102,29 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 		recs: make(map[string]*simRecord),
 		res:  newResult(),
 	}
+	// Rebind the caller's telemetry to the campaign's virtual clock before
+	// anything measures with it: every span and histogram sample becomes a
+	// pure function of the replay.
+	c.tel = cfg.Telemetry
+	if c.tel != nil {
+		c.tel.SetClock(c.clk)
+	} else {
+		c.tel = telemetry.Nop()
+	}
+	if cfg.FeedbackEvery > 0 {
+		c.fbStore = datastore.Instrument(datastore.NewMemory(), c.tel, "memory")
+		c.cgFB = &modeledFeedback{name: "cg-to-continuum", store: c.fbStore,
+			srcNS: "cg-active", dstNS: "cg-done", perProcess: fbCGProcess}
+		c.aaFB = &modeledFeedback{name: "aa-to-cg", store: c.fbStore,
+			srcNS: "aa-active", dstNS: "aa-done", perProcess: fbAAProcess}
+	}
 	for _, r := range cfg.Runs {
 		c.totalWall += time.Duration(r.Count) * r.Wall
 	}
 	c.queueSet = dynim.NewQueueSet(9, cfg.PatchQueueCap)
 	c.queueSet.DisableJournal()
 	c.queueSet.SetWorkers(cfg.SelectorWorkers)
+	c.queueSet.SetTelemetry(cfg.Telemetry)
 	c.patchSel = c.queueSet.AsSelector(func(p dynim.Point) string {
 		// Five queues by protein configuration, as in the paper; route on a
 		// stable hash of the candidate id.
@@ -115,6 +144,7 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	}
 	fs.DisableJournal()
 	fs.SetTrackDuplicates(false)
+	fs.SetTelemetry(cfg.Telemetry)
 	c.frameSel = fs
 	// 9-D protein walks seed patch encodings.
 	c.walks = make([][]float64, cfg.PatchesPerSnapshot)
@@ -204,6 +234,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	s, err := sched.New(c.clk, sched.Config{
 		Machine: machine, Policy: c.cfg.SchedPolicy, Mode: c.cfg.SchedMode,
 		Costs: c.cfg.SchedCosts, StatusPollEvery: statusPoll,
+		Telemetry: c.tel,
 	})
 	if err != nil {
 		return nil, err
@@ -229,6 +260,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 		Conductor: cond,
 		PollEvery: c.cfg.PollEvery,
 		Seed:      c.cfg.Seed + int64(c.res.RunsDone),
+		Telemetry: c.tel,
 		StaticJobs: []sched.Request{
 			{Name: "continuum", NodeCount: contNodes, Cores: 24},
 		},
@@ -308,6 +340,16 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 		})
 	}
 
+	// Heartbeat: the terminal stand-in for the paper's live dashboards.
+	var hb *telemetry.Heartbeat
+	if c.cfg.HeartbeatEvery > 0 && c.cfg.HeartbeatWriter != nil {
+		run := c.res.RunsDone + 1
+		hb = telemetry.NewHeartbeat(c.clk, c.cfg.HeartbeatEvery, c.cfg.HeartbeatWriter,
+			func(now time.Time) string {
+				return c.heartbeatLine(now, run, spec, machine, s, wm)
+			})
+	}
+
 	if err := wm.Start(); err != nil {
 		return nil, err
 	}
@@ -316,6 +358,11 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	if failTicker != nil {
 		failTicker.Stop()
 	}
+	if hb != nil {
+		hb.Stop()
+	}
+	c.tel.RecordSpan("campaign", "allocation", start, c.clk.Now().Sub(start),
+		"run", c.res.RunsDone+1, "nodes", spec.Nodes)
 
 	// Allocation over: stop producers, flush the conductor (queued
 	// submissions fail back into WM state), settle running simulations,
@@ -362,6 +409,23 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	return nil, nil
 }
 
+// heartbeatLine renders one status line: machine occupancy, scheduler
+// queue state, and per-coupling progress — the numbers an operator watches
+// to keep a multi-day allocation alive.
+func (c *Campaign) heartbeatLine(now time.Time, run int, spec RunSpec,
+	machine *cluster.Machine, s *sched.Scheduler, wm *core.Workflow) string {
+	q, running, finished := s.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] run %d (%dn): gpu=%.0f%% cpu=%.0f%% queued=%d running=%d done=%d",
+		now.Format("2006-01-02 15:04"), run, spec.Nodes,
+		machine.GPUOccupancy()*100, machine.CPUOccupancy()*100, q, running, finished)
+	for _, cs := range wm.Stats() {
+		fmt.Fprintf(&b, " | %s: ready=%d run=%d done=%d fb=%d",
+			cs.Name, cs.Ready, cs.Running, cs.CompletedSims, cs.FeedbackRuns)
+	}
+	return b.String()
+}
+
 // onSnapshot models Task 1 for one continuum snapshot: advance the protein
 // encodings, cut patches, offer them to the patch selector, and account the
 // data products.
@@ -402,7 +466,7 @@ const continuumSnapshotBytes = 374_000_000
 
 // cgCoupling builds the continuum→CG coupling for one run.
 func (c *Campaign) cgCoupling(slots, setupCap int) core.CouplingSpec {
-	return core.CouplingSpec{
+	spec := core.CouplingSpec{
 		Name:     "continuum-to-cg",
 		Selector: c.patchSel,
 		SetupReq: sched.Request{Name: "createsim", Cores: sim.CreatesimCores},
@@ -424,11 +488,16 @@ func (c *Campaign) cgCoupling(slots, setupCap int) core.CouplingSpec {
 		OnSimStart:  func(p dynim.Point, id sched.JobID) { c.onSimStart("cg:"+p.ID, id) },
 		OnSimEnd:    func(p dynim.Point, id sched.JobID, st sched.State) { c.onSimEnd("cg:"+p.ID, id, st) },
 	}
+	if c.cgFB != nil {
+		spec.Feedback = c.cgFB
+		spec.FeedbackEvery = c.cfg.FeedbackEvery
+	}
+	return spec
 }
 
 // aaCoupling builds the CG→AA coupling for one run.
 func (c *Campaign) aaCoupling(slots, setupCap int) core.CouplingSpec {
-	return core.CouplingSpec{
+	spec := core.CouplingSpec{
 		Name:     "cg-to-aa",
 		Selector: c.frameSel,
 		SetupReq: sched.Request{Name: "backmap", Cores: sim.BackmapCores},
@@ -450,6 +519,11 @@ func (c *Campaign) aaCoupling(slots, setupCap int) core.CouplingSpec {
 		OnSimStart:  func(p dynim.Point, id sched.JobID) { c.onSimStart("aa:"+p.ID, id) },
 		OnSimEnd:    func(p dynim.Point, id sched.JobID, st sched.State) { c.onSimEnd("aa:"+p.ID, id, st) },
 	}
+	if c.aaFB != nil {
+		spec.Feedback = c.aaFB
+		spec.FeedbackEvery = c.cfg.FeedbackEvery
+	}
+	return spec
 }
 
 // readyTarget sizes the prepared-configuration inventory, which persists
@@ -557,6 +631,10 @@ func (c *Campaign) settle(simID string, delta units.SimTime, final bool) {
 		framesDelta := int64(float64(delta) / float64(100*units.Picosecond))
 		c.res.Files += 1 * framesDelta // trajectory frames
 		c.res.Bytes += framesDelta * int64(sim.AAFrameBytes)
+		if framesDelta > 0 {
+			c.fbSeq++
+			c.fbPut("aa-active", fmt.Sprintf("f%012d", c.fbSeq), 128)
+		}
 	}
 	if final || rec.progress >= rec.target {
 		rec.done = true
@@ -584,6 +662,11 @@ func (c *Campaign) accountCG(simID string, rec *simRecord) {
 	c.res.CGFrames += frames
 	c.res.Files += frames * 3 // trajectory + analysis + RDF records
 	c.res.Bytes += frames * int64(sim.CGFrameBytes+sim.CGAnalysisBytes)
+	if frames > 0 {
+		// One RDF batch record per settle feeds the CG→continuum loop.
+		c.fbSeq++
+		c.fbPut("cg-active", fmt.Sprintf("f%012d", c.fbSeq), 128)
+	}
 
 	c.candAcc += us * c.cfg.FrameCandidatesPerUs
 	n := int(c.candAcc)

@@ -134,7 +134,11 @@ func (m *Machine) GPUOccupancy() float64 {
 
 // CPUOccupancy returns the fraction of cores in use (0..1).
 func (m *Machine) CPUOccupancy() float64 {
-	return float64(m.usedCores) / float64(m.topo.TotalCores())
+	total := m.topo.TotalCores()
+	if total == 0 {
+		return 0
+	}
+	return float64(m.usedCores) / float64(total)
 }
 
 // Drain marks a node unschedulable without disturbing running jobs — the

@@ -196,3 +196,15 @@ func TestPropertyReserveReleaseConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOccupancyZeroTopology(t *testing.T) {
+	// A zero-value Machine has no resources; occupancy must report 0, not
+	// NaN (0/0), which would poison downstream profile statistics.
+	var m Machine
+	if got := m.CPUOccupancy(); got != 0 {
+		t.Errorf("CPUOccupancy on empty machine = %v, want 0", got)
+	}
+	if got := m.GPUOccupancy(); got != 0 {
+		t.Errorf("GPUOccupancy on empty machine = %v, want 0", got)
+	}
+}

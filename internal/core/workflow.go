@@ -23,6 +23,7 @@ import (
 	"mummi/internal/feedback"
 	"mummi/internal/maestro"
 	"mummi/internal/sched"
+	"mummi/internal/telemetry"
 	"mummi/internal/vclock"
 )
 
@@ -96,6 +97,9 @@ type Config struct {
 	// 150-node job in the campaign.
 	StaticJobs []sched.Request
 	Seed       int64
+	// Telemetry receives per-task spans and WM metrics (nil = discarded).
+	// See docs/OBSERVABILITY.md for the emitted names.
+	Telemetry *telemetry.Telemetry
 }
 
 // CouplingStats reports one coupling's live state.
@@ -153,6 +157,7 @@ type Workflow struct {
 	clk  vclock.Clock
 	cond *maestro.Conductor
 	rng  *rand.Rand
+	tel  *telemetry.Telemetry
 
 	// The WM's shared objects are guarded by a blocking lock; the feedback
 	// path additionally uses a per-coupling nonblocking busy flag so a slow
@@ -180,10 +185,15 @@ func New(cfg Config) (*Workflow, error) {
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 2 * time.Minute
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.Nop()
+	}
 	w := &Workflow{
 		clk:       cfg.Clock,
 		cond:      cfg.Conductor,
 		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		tel:       tel,
 		jobs:      make(map[sched.JobID]jobRecord),
 		static:    cfg.StaticJobs,
 		pollEvery: cfg.PollEvery,
@@ -278,7 +288,13 @@ func (w *Workflow) AddCandidate(coupling string, p dynim.Point) error {
 	if cs == nil {
 		return fmt.Errorf("core: unknown coupling %q", coupling)
 	}
-	return cs.spec.Selector.Add(p)
+	sp := w.tel.StartSpan("wm", "task1.ingest").Arg("coupling", coupling)
+	err := cs.spec.Selector.Add(p)
+	sp.End()
+	if err == nil {
+		w.tel.Counter(telemetry.Name("wm.candidates_total", "coupling", coupling)).Inc()
+	}
+	return err
 }
 
 func (w *Workflow) findCoupling(name string) *couplingState {
@@ -292,22 +308,36 @@ func (w *Workflow) findCoupling(name string) *couplingState {
 
 // Poll performs one Task-3 scan: replace finished simulations and keep the
 // ready buffers topped up. It is normally driven by the ticker but exposed
-// for deterministic tests.
+// for deterministic tests. Poll is the instrumented entry into the WM's
+// blocking lock: it observes both how long the lock took to acquire (wait)
+// and how long the scan held it (hold) — the paper's locking mix made
+// exactly this contention visible on the real system.
 func (w *Workflow) Poll() {
+	sp := w.tel.StartSpan("wm", "task3.poll")
+	waitStart := w.tel.Now()
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.tel.Histogram("wm.lock_wait_ms", "ms", nil).Observe(w.tel.MsSince(waitStart))
+	holdStart := w.tel.Now()
 	if w.stopped {
+		w.mu.Unlock()
+		sp.End()
 		return
 	}
+	w.tel.Counter("wm.polls_total").Inc()
 	for i := range w.couplings {
 		w.pollCoupling(i)
 	}
+	w.tel.Histogram("wm.lock_hold_ms", "ms", nil).Observe(w.tel.MsSince(holdStart))
+	w.tel.Histogram("wm.poll_ms", "ms", nil).Observe(w.tel.MsSince(waitStart))
+	w.mu.Unlock()
+	sp.End()
 }
 
 // pollCoupling holds w.mu.
 func (w *Workflow) pollCoupling(i int) {
 	cs := w.couplings[i]
 	spec := &cs.spec
+	defer w.updateGaugesLocked(i)
 
 	// 1. Spawn simulations from the ready buffer up to the concurrency
 	// target (and total cap).
@@ -321,6 +351,7 @@ func (w *Workflow) pollCoupling(i int) {
 		if spec.SimDuration != nil {
 			req.Duration = spec.SimDuration(w.rng, p)
 		}
+		w.tel.Counter(telemetry.Name("wm.sims_launched_total", "coupling", spec.Name)).Inc()
 		w.submitLocked(req, i, roleSim, p)
 	}
 
@@ -346,7 +377,16 @@ func (w *Workflow) pollCoupling(i int) {
 		want--
 	}
 	if want > 0 {
-		points = append(points, spec.Selector.Select(want)...)
+		// Task 2: drive the importance sampler. The selection duration is
+		// measured on the telemetry clock (virtual in campaign replays), so
+		// the span and histogram are deterministic replay artifacts.
+		selStart := w.tel.Now()
+		sel := spec.Selector.Select(want)
+		w.tel.RecordSpan("wm", "task2.select", selStart, w.tel.Now().Sub(selStart),
+			"coupling", spec.Name, "want", want, "got", len(sel))
+		w.tel.Histogram("wm.select_ms", "ms", nil).Observe(w.tel.MsSince(selStart))
+		w.tel.Counter(telemetry.Name("wm.selections_total", "coupling", spec.Name)).Add(int64(len(sel)))
+		points = append(points, sel...)
 	}
 	for _, p := range points {
 		cs.pendingSetup++
@@ -354,8 +394,19 @@ func (w *Workflow) pollCoupling(i int) {
 		if spec.SetupDuration != nil {
 			req.Duration = spec.SetupDuration(w.rng)
 		}
+		w.tel.Counter(telemetry.Name("wm.setups_launched_total", "coupling", spec.Name)).Inc()
 		w.submitLocked(req, i, roleSetup, p)
 	}
+}
+
+// updateGaugesLocked refreshes the per-coupling live-state gauges. Caller
+// holds w.mu.
+func (w *Workflow) updateGaugesLocked(i int) {
+	cs := w.couplings[i]
+	name := cs.spec.Name
+	w.tel.Gauge(telemetry.Name("wm.ready", "coupling", name)).Set(float64(len(cs.ready)))
+	w.tel.Gauge(telemetry.Name("wm.running", "coupling", name)).Set(float64(cs.running + cs.pendingSim))
+	w.tel.Gauge(telemetry.Name("wm.in_setup", "coupling", name)).Set(float64(cs.inSetup + cs.pendingSetup))
 }
 
 // submitLocked routes one job through the conductor. Caller holds w.mu; the
@@ -419,21 +470,25 @@ func (w *Workflow) onJobFinish(id sched.JobID, st sched.State) {
 			// Setup produced a runnable configuration: queue it for the
 			// corresponding simulation.
 			cs.ready = append(cs.ready, rec.point)
+			w.tel.Counter(telemetry.Name("wm.setups_completed_total", "coupling", cs.spec.Name)).Inc()
 		} else {
 			cs.failedSetups++
 			// "resubmits failed ones": the same configuration re-runs setup.
 			cs.redoSetup = append(cs.redoSetup, rec.point)
+			w.tel.Counter(telemetry.Name("wm.setups_failed_total", "coupling", cs.spec.Name)).Inc()
 		}
 	case roleSim:
 		cs.running--
 		if st == sched.Completed {
 			cs.completed++
+			w.tel.Counter(telemetry.Name("wm.sims_completed_total", "coupling", cs.spec.Name)).Inc()
 		} else {
 			cs.failedSims++
 			// "resubmits failed ones": the configuration returns to the
 			// front of the ready queue.
 			cs.ready = append([]dynim.Point{rec.point}, cs.ready...)
 			cs.launched--
+			w.tel.Counter(telemetry.Name("wm.sims_failed_total", "coupling", cs.spec.Name)).Inc()
 		}
 		onEnd = cs.spec.OnSimEnd
 	}
@@ -458,15 +513,29 @@ func (w *Workflow) onJobFinish(id sched.JobID, st sched.State) {
 func (w *Workflow) runFeedback(i int) {
 	w.mu.Lock()
 	cs := w.couplings[i]
+	name := cs.spec.Name
 	if cs.feedbackBusy || w.stopped {
+		stopped := w.stopped
 		w.mu.Unlock()
+		if !stopped {
+			w.tel.Counter(telemetry.Name("wm.feedback_skipped_total", "coupling", name)).Inc()
+		}
 		return
 	}
 	cs.feedbackBusy = true
 	mgr := cs.spec.Feedback
 	w.mu.Unlock()
 
+	sp := w.tel.StartSpan("wm", "task4.feedback").Arg("coupling", name)
+	fbStart := w.tel.Now()
 	rep, err := mgr.Iterate()
+	sp.End()
+	w.tel.Histogram("wm.feedback_ms", "ms", nil).Observe(w.tel.MsSince(fbStart))
+	if err == nil {
+		w.tel.Counter(telemetry.Name("wm.feedback_runs_total", "coupling", name)).Inc()
+	} else {
+		w.tel.Counter(telemetry.Name("wm.feedback_failed_total", "coupling", name)).Inc()
+	}
 
 	w.mu.Lock()
 	cs.feedbackBusy = false

@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
+
+	"mummi/internal/telemetry"
 )
 
 // Binned is the discrete histogram sampler developed for CG frame selection
@@ -37,6 +40,7 @@ type Binned struct {
 	journal  journal
 	dd       dedupe
 	trackDup bool
+	tel      *telemetry.Telemetry // nil = no instrumentation
 }
 
 // BinDim describes the binning of one encoding dimension.
@@ -95,6 +99,15 @@ func (b *Binned) DisableJournal() {
 	b.mu.Unlock()
 }
 
+// SetTelemetry routes selection timings to tel (nil disables
+// instrumentation). Timings are measured on the telemetry clock, never the
+// wall clock, so instrumented replays stay deterministic.
+func (b *Binned) SetTelemetry(tel *telemetry.Telemetry) {
+	b.mu.Lock()
+	b.tel = tel
+	b.mu.Unlock()
+}
+
 // SetTrackDuplicates toggles duplicate-ID rejection. Producers that
 // guarantee unique IDs (the campaign driver does, by construction) turn it
 // off so the dedupe set does not grow with every candidate ever offered.
@@ -131,6 +144,10 @@ func (b *Binned) Update() {}
 func (b *Binned) Select(n int) []Point {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var selStart time.Time
+	if b.tel != nil {
+		selStart = b.tel.Now()
+	}
 	var out []Point
 	for len(out) < n && b.total > 0 {
 		var bin int
@@ -148,6 +165,12 @@ func (b *Binned) Select(n int) []Point {
 		b.total--
 		b.journal.record("select", p.ID)
 		out = append(out, p)
+	}
+	if b.tel != nil {
+		b.tel.Histogram("dynim.select_ms", "ms", nil).Observe(b.tel.MsSince(selStart))
+		b.tel.RecordSpan("dynim", "select", selStart, b.tel.Now().Sub(selStart),
+			"want", n, "got", len(out))
+		b.tel.Counter("dynim.selected_total").Add(int64(len(out)))
 	}
 	return out
 }

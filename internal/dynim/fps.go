@@ -5,9 +5,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"mummi/internal/knn"
 	"mummi/internal/parallel"
+	"mummi/internal/telemetry"
 )
 
 // FarthestPoint ranks candidates by their L2 distance to the nearest
@@ -88,6 +90,7 @@ type FarthestPoint struct {
 	selPts  []Point
 	journal journal
 	dd      dedupe
+	tel     *telemetry.Telemetry // nil = no instrumentation
 }
 
 // fpsMinChunk is the smallest per-worker slot chunk worth a goroutine:
@@ -113,6 +116,15 @@ func NewFarthestPoint(dim, capacity int) *FarthestPoint {
 func (f *FarthestPoint) SetWorkers(n int) {
 	f.mu.Lock()
 	f.workers = n
+	f.mu.Unlock()
+}
+
+// SetTelemetry routes rank-refresh and selection timings to tel (nil
+// disables instrumentation). Timings are measured on the telemetry clock,
+// never the wall clock, so instrumented replays stay deterministic.
+func (f *FarthestPoint) SetTelemetry(tel *telemetry.Telemetry) {
+	f.mu.Lock()
+	f.tel = tel
 	f.mu.Unlock()
 }
 
@@ -495,6 +507,10 @@ func (f *FarthestPoint) updateLocked() {
 		}
 	}
 	if stale {
+		var start time.Time
+		if f.tel != nil {
+			start = f.tel.Now()
+		}
 		f.gapSuffix(n)
 		rows := f.sel.RowsFlat(0, n)
 		parallel.For(len(f.ids), parallel.Workers(f.workers), fpsMinChunk, func(lo, hi int) {
@@ -504,6 +520,11 @@ func (f *FarthestPoint) updateLocked() {
 				}
 			}
 		})
+		if f.tel != nil {
+			f.tel.Histogram("dynim.rank_refresh_ms", "ms", nil).Observe(f.tel.MsSince(start))
+			f.tel.RecordSpan("dynim", "rank_refresh", start, f.tel.Now().Sub(start),
+				"candidates", len(f.ids))
+		}
 	}
 	if stale || f.heapDirty {
 		f.heapInit()
@@ -519,6 +540,10 @@ func (f *FarthestPoint) updateLocked() {
 func (f *FarthestPoint) Select(n int) []Point {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	var selStart time.Time
+	if f.tel != nil {
+		selStart = f.tel.Now()
+	}
 	var out []Point
 	for len(out) < n && len(f.h) > 0 {
 		// Lazy pick with an eager fallback. While the heap is ordered,
@@ -571,6 +596,12 @@ func (f *FarthestPoint) Select(n int) []Point {
 		f.selPts = append(f.selPts, p)
 		f.journal.record("select", id)
 		out = append(out, p)
+	}
+	if f.tel != nil {
+		f.tel.Histogram("dynim.select_ms", "ms", nil).Observe(f.tel.MsSince(selStart))
+		f.tel.RecordSpan("dynim", "select", selStart, f.tel.Now().Sub(selStart),
+			"want", n, "got", len(out))
+		f.tel.Counter("dynim.selected_total").Add(int64(len(out)))
 	}
 	return out
 }
@@ -667,6 +698,7 @@ type QueueSet struct {
 	queues    map[string]*FarthestPoint
 	order     []string
 	noJournal bool
+	tel       *telemetry.Telemetry
 }
 
 // NewQueueSet creates an empty set whose queues share dim and capacity.
@@ -686,6 +718,18 @@ func (q *QueueSet) SetWorkers(n int) {
 	q.mu.Unlock()
 }
 
+// SetTelemetry routes selection timings from all current and future queues
+// to tel (nil disables instrumentation).
+func (q *QueueSet) SetTelemetry(tel *telemetry.Telemetry) {
+	q.mu.Lock()
+	q.tel = tel
+	//lint:allow determinism -- applies the same knob to every queue; iteration order cannot affect state
+	for _, fp := range q.queues {
+		fp.SetTelemetry(tel)
+	}
+	q.mu.Unlock()
+}
+
 // Add routes a candidate to the named queue, creating it on first use.
 func (q *QueueSet) Add(queue string, p Point) error {
 	q.mu.Lock()
@@ -696,6 +740,7 @@ func (q *QueueSet) Add(queue string, p Point) error {
 			fp.DisableJournal()
 		}
 		fp.SetWorkers(q.workers)
+		fp.SetTelemetry(q.tel)
 		q.queues[queue] = fp
 		q.order = append(q.order, queue)
 		sort.Strings(q.order)

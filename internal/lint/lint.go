@@ -7,7 +7,7 @@
 // exercise them. The analyzers here turn those invariants into properties
 // checked on every build.
 //
-// Three project-specific analyzers ship with the framework:
+// Four project-specific analyzers ship with the framework:
 //
 //   - determinism: no iteration-order, RNG, or wall-clock nondeterminism
 //     inside the determinism-contracted packages (dynim, knn, parallel,
@@ -17,6 +17,8 @@
 //     lock-bearing structs (core, sched).
 //   - errdiscipline: no silently discarded errors anywhere in the module,
 //     modulo an explicit allowlist.
+//   - doccomment: every exported identifier in the instrumented packages
+//     (core, sched, datastore, telemetry) carries a doc comment.
 //
 // Findings can be suppressed with a
 //
@@ -98,7 +100,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, LockDiscipline, ErrDiscipline}
+	return []*Analyzer{Determinism, LockDiscipline, ErrDiscipline, DocComment}
 }
 
 // ByName resolves a comma-separated analyzer list ("determinism,errdiscipline").

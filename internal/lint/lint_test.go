@@ -111,6 +111,10 @@ func TestErrDisciplineGolden(t *testing.T) {
 	runGolden(t, ErrDiscipline, "errdiscipline", "errprog", []string{"os.RemoveAll"})
 }
 
+func TestDocCommentGolden(t *testing.T) {
+	runGolden(t, DocComment, "doccomment", "lab/internal/telemetry", nil)
+}
+
 // TestScopeFiltersPackages re-runs the determinism golden package under an
 // import path outside the analyzer's scope: RunAnalyzers must produce
 // nothing even though the source is full of violations.

@@ -1,0 +1,75 @@
+// Package doccomment is the golden input for the doccomment analyzer.
+package doccomment
+
+import "sync"
+
+// Documented is fine.
+type Documented struct {
+	// fields are exempt: the type comment is the unit of documentation.
+	Field int
+	Other string
+}
+
+type Undocumented struct{} // want "exported type Undocumented has no doc comment"
+
+// unexported types never need docs.
+type internalOnly struct{}
+
+// Grouped type declarations: the group doc covers every spec.
+type (
+	First  struct{}
+	Second struct{}
+)
+
+type (
+	Third struct{} // want "exported type Third has no doc comment"
+)
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {} // want "exported function UndocumentedFunc has no doc comment"
+
+func unexportedFunc() {}
+
+// Method docs: required on exported receiver types...
+func (d *Documented) Documented() {}
+
+func (d *Documented) Missing() {} // want "exported method Missing has no doc comment"
+
+// ...but not on unexported receiver types, even for exported names.
+func (i internalOnly) Exported() {}
+
+// MaxThings is fine.
+const MaxThings = 10
+
+const MinThings = 1 // want "exported const MinThings has no doc comment"
+
+// Grouped constants: the group comment suffices.
+const (
+	ModeA = "a"
+	ModeB = "b"
+)
+
+const (
+	// ModeC has a spec doc.
+	ModeC = "c"
+	ModeD = "d" // want "exported const ModeD has no doc comment"
+	modeE = "e"
+)
+
+// ErrBudget is fine; directive-only comments do not count as docs.
+var ErrBudget = 3
+
+//go:generate true
+var Generated = 4 // want "exported variable Generated has no doc comment"
+
+var (
+	// Known has a spec doc.
+	Known sync.Mutex
+	Blank int // want "exported variable Blank has no doc comment"
+)
+
+var hidden int
+
+func init() { _, _, _, _ = MinThings, modeE, Generated, hidden }

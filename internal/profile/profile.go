@@ -5,6 +5,7 @@
 package profile
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -63,14 +64,29 @@ func (p *Profiler) Add(ev Event) {
 	p.mu.Unlock()
 }
 
+// clampPct sanitizes an occupancy percentage: non-finite samples (a
+// zero-resource topology divides 0/0 upstream) collapse to 0 and finite
+// ones clamp into [0, 100], so one bad window cannot poison a whole
+// distribution.
+func clampPct(pct float64) float64 {
+	switch {
+	case math.IsNaN(pct), pct < 0:
+		return 0
+	case pct > 100:
+		return 100
+	}
+	return pct
+}
+
 // OccupancyHistograms builds the Fig. 5 distributions: percent-occupancy
-// histograms over profile events for GPUs and CPUs.
+// histograms over profile events for GPUs and CPUs. Samples are clamped
+// into [0, 100]; non-finite fractions count as 0.
 func OccupancyHistograms(events []Event, bins int) (gpu, cpu *stats.Histogram) {
 	gpu = stats.NewHistogram(0, 100.000001, bins)
 	cpu = stats.NewHistogram(0, 100.000001, bins)
 	for _, ev := range events {
-		gpu.Add(ev.GPUFrac * 100)
-		cpu.Add(ev.CPUFrac * 100)
+		gpu.Add(clampPct(ev.GPUFrac * 100))
+		cpu.Add(clampPct(ev.CPUFrac * 100))
 	}
 	return gpu, cpu
 }
@@ -86,7 +102,7 @@ func Headline(events []Event, thresholdPct float64) (fracAtLeast, meanPct, media
 	vals := make([]float64, 0, len(events))
 	at := 0
 	for _, ev := range events {
-		pct := ev.GPUFrac * 100
+		pct := clampPct(ev.GPUFrac * 100)
 		s.Add(pct)
 		vals = append(vals, pct)
 		if pct >= thresholdPct {

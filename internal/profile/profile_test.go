@@ -84,3 +84,37 @@ func TestAddMergesRuns(t *testing.T) {
 		t.Errorf("merged events = %d", len(p.Events()))
 	}
 }
+
+func TestHeadlineAllZeroWindow(t *testing.T) {
+	// A window where nothing ran must give finite zeros, never NaN.
+	frac, mean, median := Headline([]Event{{}, {}, {}}, 98)
+	if frac != 0 || mean != 0 || median != 0 {
+		t.Errorf("all-zero headline = (%v, %v, %v), want zeros", frac, mean, median)
+	}
+}
+
+func TestOccupancySanitizesBadSamples(t *testing.T) {
+	// Non-finite and out-of-range fractions (a zero-resource topology
+	// yields 0/0 upstream) must clamp instead of poisoning the figures.
+	evs := []Event{
+		{GPUFrac: math.NaN(), CPUFrac: math.Inf(1)},
+		{GPUFrac: -0.5, CPUFrac: 2},
+	}
+	gpu, cpu := OccupancyHistograms(evs, 10)
+	if gpu.N() != 2 || cpu.N() != 2 {
+		t.Fatalf("histogram n = %d/%d, want 2/2", gpu.N(), cpu.N())
+	}
+	if gpu.Counts[0] != 2 {
+		t.Errorf("NaN/negative GPU samples should clamp to bin 0: %v", gpu.Counts)
+	}
+	if cpu.Counts[9] != 2 {
+		t.Errorf("Inf/200%% CPU samples should clamp to the top bin: %v", cpu.Counts)
+	}
+	frac, mean, median := Headline(evs, 98)
+	if math.IsNaN(frac) || math.IsNaN(mean) || math.IsNaN(median) {
+		t.Errorf("headline produced NaN: (%v, %v, %v)", frac, mean, median)
+	}
+	if median != 0 {
+		t.Errorf("median = %v, want 0 after clamping", median)
+	}
+}

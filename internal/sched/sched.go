@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mummi/internal/cluster"
+	"mummi/internal/telemetry"
 	"mummi/internal/vclock"
 )
 
@@ -69,6 +70,10 @@ type Config struct {
 	// StatusPollEvery, when positive, models the workflow's periodic
 	// status sweep over all tracked jobs as Q-priority message load.
 	StatusPollEvery time.Duration
+	// Telemetry receives match spans and scheduler metrics (nil =
+	// discarded). Match spans carry the modeled cost as their duration, so
+	// a trace of a virtual-clock replay shows R's duty cycle exactly.
+	Telemetry *telemetry.Telemetry
 }
 
 type qMsg struct {
@@ -86,6 +91,7 @@ type Scheduler struct {
 	matcher *Matcher
 	mode    Mode
 	costs   Costs
+	tel     *telemetry.Telemetry
 
 	mu           sync.Mutex
 	nextID       JobID
@@ -115,12 +121,17 @@ func New(clk vclock.Clock, cfg Config) (*Scheduler, error) {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.Nop()
+	}
 	s := &Scheduler{
 		clk:      clk,
 		machine:  cfg.Machine,
 		matcher:  NewMatcher(cfg.Machine, cfg.Policy),
 		mode:     cfg.Mode,
 		costs:    cfg.Costs,
+		tel:      tel,
 		jobs:     make(map[JobID]*Job),
 		matching: make(map[JobID]bool),
 	}
@@ -170,8 +181,40 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	job := &Job{ID: s.nextID, Req: req, State: Pending, SubmitTime: s.clk.Now()}
 	s.jobs[job.ID] = job
 	s.inbox = append(s.inbox, qMsg{kind: "submit", job: job, cost: s.costs.SubmitMsg})
+	s.tel.Counter("sched.submitted_total").Inc()
+	s.updateGaugesLocked()
 	s.kickQ()
 	return job, nil
+}
+
+// noteMatchLocked records one matcher invocation. The span's duration is
+// the modeled match cost (visits × VertexVisit), charged from the moment R
+// begins the match — under a virtual clock this makes the trace an exact
+// picture of R's duty cycle. Caller holds s.mu.
+func (s *Scheduler) noteMatchLocked(job *Job, visits int64, cost time.Duration, placed bool) {
+	s.tel.RecordSpan("sched", "match", s.clk.Now(), cost,
+		"job", int64(job.ID), "visits", visits, "placed", placed)
+	s.tel.Counter("sched.matches_total").Inc()
+	s.tel.Counter("sched.match_visits_total").Add(visits)
+	if !placed {
+		s.tel.Counter("sched.match_blocked_total").Inc()
+	}
+	s.tel.Histogram("sched.match_ms", "ms", nil).Observe(float64(cost) / float64(time.Millisecond))
+}
+
+// updateGaugesLocked refreshes queue-depth and occupancy gauges. Caller
+// holds s.mu.
+func (s *Scheduler) updateGaugesLocked() {
+	q := len(s.pending) + len(s.rQueue)
+	for _, m := range s.inbox {
+		if m.kind == "submit" {
+			q++
+		}
+	}
+	s.tel.Gauge("sched.queue_depth").Set(float64(q))
+	s.tel.Gauge("sched.running").Set(float64(s.running))
+	s.tel.Gauge("sched.gpu_occupancy_pct").Set(s.machine.GPUOccupancy() * 100)
+	s.tel.Gauge("sched.cpu_occupancy_pct").Set(s.machine.CPUOccupancy() * 100)
 }
 
 // kickQ advances the queue manager. Caller holds s.mu.
@@ -229,6 +272,7 @@ func (s *Scheduler) syncMatchHead() {
 	s.matching[job.ID] = true
 	alloc, visits, ok := s.matcher.Match(job.Req)
 	cost := time.Duration(visits) * s.costs.VertexVisit
+	s.noteMatchLocked(job, visits, cost, ok)
 	s.clk.After(cost, func() {
 		s.mu.Lock()
 		delete(s.matching, job.ID)
@@ -260,6 +304,7 @@ func (s *Scheduler) kickR() {
 	s.matching[job.ID] = true
 	alloc, visits, ok := s.matcher.Match(job.Req)
 	cost := time.Duration(visits) * s.costs.VertexVisit
+	s.noteMatchLocked(job, visits, cost, ok)
 	s.clk.After(cost, func() {
 		s.mu.Lock()
 		delete(s.matching, job.ID)
@@ -288,6 +333,10 @@ func (s *Scheduler) startLocked(job *Job, alloc cluster.Alloc) {
 	job.Alloc = alloc
 	s.running++
 	s.timeline = append(s.timeline, Placement{Time: job.StartTime, Job: job.ID})
+	s.tel.Counter("sched.started_total").Inc()
+	s.tel.Histogram("sched.queue_wait_ms", "ms", nil).
+		Observe(float64(job.StartTime.Sub(job.SubmitTime)) / float64(time.Millisecond))
+	s.updateGaugesLocked()
 	if job.Req.Duration > 0 {
 		id := job.ID
 		//lint:allow errdiscipline -- auto-completion may race a manual Complete/Fail; finish is idempotent and the only error is the benign "already terminal"
@@ -322,6 +371,12 @@ func (s *Scheduler) finish(id JobID, st State) error {
 	s.finished++
 	s.machine.Release(job.Alloc)
 	s.matcher.NoteRelease(job.Alloc)
+	if st == Completed {
+		s.tel.Counter("sched.completed_total").Inc()
+	} else {
+		s.tel.Counter("sched.failed_total").Inc()
+	}
+	s.updateGaugesLocked()
 	// Freed resources may unblock queue heads.
 	s.headBlocked = false
 	s.rHeadBlocked = false
@@ -348,6 +403,8 @@ func (s *Scheduler) Cancel(id JobID) bool {
 	job.EndTime = s.clk.Now()
 	s.pending = removeJob(s.pending, id)
 	s.rQueue = removeJob(s.rQueue, id)
+	s.tel.Counter("sched.canceled_total").Inc()
+	s.updateGaugesLocked()
 	cb := s.onFinish
 	s.mu.Unlock()
 	if cb != nil {

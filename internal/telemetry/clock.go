@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"mummi/internal/vclock"
+)
+
+// clockHolder is the rebindable clock shared by the registry's histograms
+// and the tracer. A plain RWMutex keeps it race-safe; the campaign rebinds
+// it exactly once, before any concurrent use.
+type clockHolder struct {
+	mu  sync.RWMutex
+	clk vclock.Clock
+}
+
+func (c *clockHolder) set(clk vclock.Clock) {
+	c.mu.Lock()
+	c.clk = clk
+	c.mu.Unlock()
+}
+
+func (c *clockHolder) get() vclock.Clock {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.clk
+}
+
+func (c *clockHolder) now() time.Time { return c.get().Now() }

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mummi/internal/errutil"
+)
+
+// Flags is the standard observability CLI surface shared by the mummi
+// commands: -trace, -metrics, -metrics-addr, and -heartbeat. A command
+// Registers the flags on its FlagSet, Builds the Telemetry before the run,
+// and Finishes afterwards to flush the requested outputs. See
+// docs/OBSERVABILITY.md for the operator-facing reference.
+type Flags struct {
+	// TracePath is -trace: where to write the Chrome trace-event JSON.
+	TracePath string
+	// MetricsPath is -metrics: where to write the metrics snapshot JSON.
+	MetricsPath string
+	// MetricsAddr is -metrics-addr: the listen address of the live HTTP
+	// snapshot endpoint (serves /metrics text and /metrics.json).
+	MetricsAddr string
+	// HeartbeatEvery is -heartbeat: the cadence of the one-line status
+	// heartbeat (campaign virtual time); zero disables it.
+	HeartbeatEvery time.Duration
+}
+
+// Register installs the observability flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TracePath, "trace", "",
+		"write a Chrome trace-event JSON `file` (open in Perfetto or chrome://tracing)")
+	fs.StringVar(&f.MetricsPath, "metrics", "",
+		"write a metrics snapshot JSON `file`")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve live /metrics and /metrics.json over HTTP on `addr` (e.g. localhost:9090)")
+	fs.DurationVar(&f.HeartbeatEvery, "heartbeat", 0,
+		"emit a one-line status heartbeat at this cadence of campaign virtual time (0 = off)")
+}
+
+// Enabled reports whether any observability flag was set.
+func (f *Flags) Enabled() bool {
+	return f.TracePath != "" || f.MetricsPath != "" || f.MetricsAddr != "" || f.HeartbeatEvery > 0
+}
+
+// Build returns a Telemetry configured per the flags (span recording only
+// when -trace was given) and, when -metrics-addr was set, a running
+// MetricsServer. With no observability flag set it returns (nil, nil, nil)
+// so the caller's components run fully uninstrumented.
+func (f *Flags) Build() (*Telemetry, *MetricsServer, error) {
+	if !f.Enabled() {
+		return nil, nil, nil
+	}
+	t := New(Options{Trace: f.TracePath != ""})
+	var srv *MetricsServer
+	if f.MetricsAddr != "" {
+		var err error
+		srv, err = StartMetricsServer(f.MetricsAddr, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("telemetry: metrics server: %w", err)
+		}
+	}
+	return t, srv, nil
+}
+
+// Finish writes the -trace and -metrics outputs and shuts down the
+// -metrics-addr server. A nil Telemetry (observability off) is a no-op.
+func (f *Flags) Finish(t *Telemetry, srv *MetricsServer) error {
+	if srv != nil {
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("telemetry: closing metrics server: %w", err)
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if f.TracePath != "" {
+		if err := writeTo(f.TracePath, t.Tracer().Export); err != nil {
+			return fmt.Errorf("telemetry: writing trace: %w", err)
+		}
+	}
+	if f.MetricsPath != "" {
+		if err := writeTo(f.MetricsPath, func(w io.Writer) error {
+			b, err := t.Registry().MarshalJSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(append(b, '\n'))
+			return err
+		}); err != nil {
+			return fmt.Errorf("telemetry: writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams write into a freshly created file; the content is
+// buffered through the OS, so a failed close is a truncated output and must
+// fail the command.
+func writeTo(path string, write func(io.Writer) error) (err error) {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer errutil.CaptureClose(&err, fh.Close)
+	return write(fh)
+}

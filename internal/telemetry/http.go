@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsServer serves live registry snapshots over HTTP — the reproduction
+// of the operators' in-situ view of a running campaign. Two endpoints:
+//
+//	/metrics       sorted "name value" text lines
+//	/metrics.json  the full Snapshot as JSON
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartMetricsServer listens on addr (e.g. "127.0.0.1:9090", or ":0" for
+// an ephemeral port) and serves t's registry until Close.
+func StartMetricsServer(addr string, t *Telemetry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, t.Registry().Text())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := t.Registry().MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%s\n", b)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		//lint:allow errdiscipline -- Serve always returns a non-nil error on Close; the shutdown path is the error
+		srv.Serve(ln)
+	}()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -11,4 +11,14 @@ go run ./cmd/mummi-lint ./...
 go build ./...
 go test ./...
 go test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
-	./internal/core/... ./internal/sched/... ./internal/kvstore/... ./internal/feedback/...
+	./internal/core/... ./internal/sched/... ./internal/kvstore/... \
+	./internal/feedback/... ./internal/telemetry/...
+
+# Observability smoke: the example campaign must emit a loadable Chrome
+# trace and a metrics snapshot with nonzero counters for all four workflow
+# tasks (tracecheck fails on empty or unparsable artifacts).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/mummi-sim campaign -scale 0.02 \
+	-trace "$tmpdir/trace.json" -metrics "$tmpdir/metrics.json"
+go run ./scripts/tracecheck "$tmpdir/trace.json" "$tmpdir/metrics.json"
