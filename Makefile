@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet lint trace ci
+.PHONY: build test race bench vet lint trace chaos ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,8 @@ test:
 race:
 	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
 		./internal/core/... ./internal/sched/... ./internal/kvstore/... \
-		./internal/feedback/... ./internal/telemetry/...
+		./internal/feedback/... ./internal/telemetry/... \
+		./internal/faults/... ./internal/retry/... ./internal/campaign/...
 
 # Paper-evaluation benchmarks (bench_test.go). -benchtime 3x keeps the
 # campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
@@ -43,6 +44,13 @@ trace:
 	$(GO) run ./cmd/mummi-sim campaign -scale 0.05 -heartbeat 4h \
 		-trace trace.json -metrics metrics.json
 	$(GO) run ./scripts/tracecheck trace.json metrics.json
+
+# Chaos demo: replay a small campaign with every fault class at aggressive
+# rates and print the fault/recovery ledger. Same seed => byte-identical
+# output; see docs/RESILIENCE.md and the ci.sh chaos smoke.
+chaos:
+	$(GO) run ./cmd/mummi-sim campaign -scale 0.02 -seed 7 \
+		-faults 'store-transient-error:0.10;store-latency-spike:0.05;store-permanent-error:0.01;node-crash:8/day;job-hang:12/day;wm-crash:2/day'
 
 ci:
 	./scripts/ci.sh

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mummi/internal/campaign"
+	"mummi/internal/faults"
 	"mummi/internal/telemetry"
 )
 
@@ -39,11 +40,13 @@ func main() {
 	full := flag.Bool("full", false, "run systems experiments at full paper scale (slower)")
 	workers := flag.Int("workers", 0, "selector rank-update fan-out (0 = GOMAXPROCS; output identical for any value)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object of per-experiment metrics instead of text")
+	faultSpec := flag.String("faults", "",
+		"chaos plan for the campaign replay: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md)")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, &tf); err != nil {
+	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, *faultSpec, &tf); err != nil {
 		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
 		os.Exit(1)
 	}
@@ -60,7 +63,7 @@ type report struct {
 	Experiments map[string]map[string]float64 `json:"experiments"`
 }
 
-func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, tf *telemetry.Flags) error {
+func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, faultSpec string, tf *telemetry.Flags) error {
 	valid := map[string]bool{"all": true, "table1": true, "fig3": true,
 		"fig4": true, "fig5": true, "fig6": true, "counts": true,
 		"fig7": true, "fig8": true, "fluxfix": true, "taridx": true,
@@ -107,6 +110,18 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 		cfg.Seed = seed
 		cfg.SelectorWorkers = workers
 		cfg.Telemetry = tel
+		if faultSpec != "" {
+			plan, err := faults.ParseFlag(faultSpec)
+			if err != nil {
+				return err
+			}
+			if plan.Seed == 0 {
+				plan.Seed = seed
+			}
+			cfg.Faults = plan
+			// Store faults need feedback I/O to have something to hit.
+			cfg.FeedbackEvery = 30 * time.Minute
+		}
 		if tf.HeartbeatEvery > 0 {
 			cfg.HeartbeatEvery = tf.HeartbeatEvery
 			cfg.HeartbeatWriter = os.Stderr
@@ -133,6 +148,19 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 			"node_hours":      float64(res.TotalNodeHours),
 			"replay_wall_sec": replayWall.Seconds(),
 		})
+		if cfg.Faults != nil {
+			if !jsonOut {
+				fmt.Printf("chaos: %d node crashes, %d job hangs, %d wm restarts, %d store put errors, %d anomalies\n\n",
+					res.NodeCrashes, res.JobHangs, res.WMRestarts, res.StorePutErrors, len(res.Anomalies))
+			}
+			record("chaos", map[string]float64{
+				"node_crashes":     float64(res.NodeCrashes),
+				"job_hangs":        float64(res.JobHangs),
+				"wm_restarts":      float64(res.WMRestarts),
+				"store_put_errors": float64(res.StorePutErrors),
+				"anomalies":        float64(len(res.Anomalies)),
+			})
+		}
 	}
 
 	if all || want["table1"] {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mummi/internal/campaign"
+	"mummi/internal/faults"
 	"mummi/internal/telemetry"
 )
 
@@ -48,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed when no -config is given")
 	feedbackEvery := flag.Duration("feedback-every", 30*time.Minute,
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
+	faultSpec := flag.String("faults", "",
+		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
@@ -85,6 +88,17 @@ func main() {
 		cfg.Runs = campaign.ScaledRuns(*scale)
 	}
 
+	if *faultSpec != "" {
+		plan, err := faults.ParseFlag(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		cfg.Faults = plan
+	}
+
 	tel, srv, err := tf.Build()
 	if err != nil {
 		fatal(err)
@@ -108,6 +122,13 @@ func main() {
 	fmt.Println(res.Table1Text())
 	fmt.Println(res.CountsText())
 	fmt.Println(res.Fig5Text())
+	if cfg.Faults != nil {
+		fmt.Printf("chaos: %d node crashes, %d job hangs, %d wm restarts, %d store put errors, %d anomalies\n",
+			res.NodeCrashes, res.JobHangs, res.WMRestarts, res.StorePutErrors, len(res.Anomalies))
+		for _, a := range res.Anomalies {
+			fmt.Println("  " + a)
+		}
+	}
 
 	if err := tf.Finish(tel, srv); err != nil {
 		fatal(err)

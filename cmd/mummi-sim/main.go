@@ -29,6 +29,7 @@ import (
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
 	"mummi/internal/errutil"
+	"mummi/internal/faults"
 	"mummi/internal/feedback"
 	"mummi/internal/fsstore"
 	"mummi/internal/mlenc"
@@ -79,6 +80,8 @@ func runCampaign(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	feedbackEvery := fs.Duration("feedback-every", 30*time.Minute,
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
+	faultSpec := fs.String("faults", "",
+		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	fs.Parse(args)
@@ -92,6 +95,16 @@ func runCampaign(args []string) error {
 	cfg.Runs = campaign.ScaledRuns(*scale)
 	cfg.Telemetry = tel
 	cfg.FeedbackEvery = *feedbackEvery
+	if *faultSpec != "" {
+		plan, err := faults.ParseFlag(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed
+		}
+		cfg.Faults = plan
+	}
 	if tf.HeartbeatEvery > 0 {
 		cfg.HeartbeatEvery = tf.HeartbeatEvery
 		cfg.HeartbeatWriter = os.Stderr
@@ -107,6 +120,13 @@ func runCampaign(args []string) error {
 	}
 	fmt.Printf("campaign: %d runs, %v replayed in %v\n",
 		res.RunsDone, res.TotalNodeHours, time.Since(start).Round(time.Millisecond))
+	if cfg.Faults != nil {
+		fmt.Printf("campaign: chaos %d node crashes, %d job hangs, %d wm restarts, %d store put errors, %d anomalies\n",
+			res.NodeCrashes, res.JobHangs, res.WMRestarts, res.StorePutErrors, len(res.Anomalies))
+		for _, a := range res.Anomalies {
+			fmt.Println("  " + a)
+		}
+	}
 
 	if err := tf.Finish(tel, srv); err != nil {
 		return err

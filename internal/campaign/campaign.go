@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"mummi/internal/core"
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
+	"mummi/internal/faults"
 	"mummi/internal/maestro"
 	"mummi/internal/profile"
 	"mummi/internal/sched"
@@ -67,6 +69,9 @@ type Campaign struct {
 	aaFB    *modeledFeedback
 	fbSeq   int64
 
+	// eng injects the chaos plan (nil when Config.Faults is nil).
+	eng *faults.Engine
+
 	recs    map[string]*simRecord
 	walks   [][]float64 // per-protein 9-D encodings, random-walking
 	nextCG  int
@@ -111,8 +116,22 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	} else {
 		c.tel = telemetry.Nop()
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: bad fault plan: %w", err)
+		}
+		c.eng = faults.NewEngine(c.clk, c.tel, cfg.Faults)
+	}
 	if cfg.FeedbackEvery > 0 {
-		c.fbStore = datastore.Instrument(datastore.NewMemory(), c.tel, "memory")
+		// Layering order matters: Instrument measures the honest backend,
+		// WrapStore injects plan faults on top of it, and Armor retries the
+		// transient ones — so retry traffic shows up in the instrumented op
+		// counts exactly like a real flaky filesystem would. With no engine
+		// WrapStore is a pass-through and Armor only adds its (unused) retry
+		// accounting.
+		c.fbStore = datastore.Armor(
+			faults.WrapStore(datastore.Instrument(datastore.NewMemory(), c.tel, "memory"), c.eng),
+			c.tel, "memory", datastore.ArmorOptions{})
 		c.cgFB = &modeledFeedback{name: "cg-to-continuum", store: c.fbStore,
 			srcNS: "cg-active", dstNS: "cg-done", perProcess: fbCGProcess}
 		c.aaFB = &modeledFeedback{name: "aa-to-cg", store: c.fbStore,
@@ -160,6 +179,10 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 
 var patchQueues = []string{"ras-a", "ras-b", "ras-raf-a", "ras-raf-b", "ras-multi"}
 
+// chaosWatchdogGrace is the hung-job watchdog grace factor chaos replays arm
+// (a job still running at 1.5× its modeled duration is presumed wedged).
+const chaosWatchdogGrace = 1.5
+
 // Run replays the whole campaign and returns the collected results.
 func Run(cfg Config) (*Result, error) {
 	c, err := NewCampaign(cfg)
@@ -173,6 +196,13 @@ func Run(cfg Config) (*Result, error) {
 func (c *Campaign) Run() (*Result, error) {
 	var ckpt []byte
 	kept1000, kept4000 := false, false
+	if c.eng != nil {
+		// One schedule for the whole campaign: windows are offsets from the
+		// campaign epoch, and pending faults roll across allocation
+		// boundaries (handlers are rebound per allocation in runOne).
+		c.eng.Start()
+		defer c.eng.Stop()
+	}
 	for _, spec := range c.cfg.Runs {
 		for i := 0; i < spec.Count; i++ {
 			keep := c.cfg.KeepTimelines &&
@@ -255,24 +285,39 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	contNodes := continuumNodes(spec.Nodes)
 	contRate := sim.ContinuumPerf(contNodes * 24)
 
-	wm, err := core.New(core.Config{
-		Clock:     c.clk,
-		Conductor: cond,
-		PollEvery: c.cfg.PollEvery,
-		Seed:      c.cfg.Seed + int64(c.res.RunsDone),
-		Telemetry: c.tel,
-		StaticJobs: []sched.Request{
-			{Name: "continuum", NodeCount: contNodes, Cores: 24},
-		},
-		Couplings: []core.CouplingSpec{
-			// Setup jobs take 24 of a node's 44 cores, so at most one fits
-			// per node: cap the combined ready-buffer targets at the node
-			// count or queued setups head-of-line-block simulations
-			// (FCFS without backfilling).
-			c.cgCoupling(cgSlots, max(2, spec.Nodes*2/3)),
-			c.aaCoupling(aaSlots, max(1, spec.Nodes/3)),
-		},
-	})
+	// newWM builds the allocation's workflow manager. It is a closure so the
+	// WM-crash fault path can rebuild the manager mid-run with the same
+	// shape; the selectors are shared Campaign state, so a rebuilt WM keeps
+	// the live selector state (the real system restores selectors from their
+	// own checkpoints).
+	newWM := func(cond *maestro.Conductor, seed int64) (*core.Workflow, error) {
+		var wdGrace float64
+		if c.eng != nil {
+			// Chaos replays arm the hung-job watchdog: injected job-hang
+			// faults are unkillable any other way.
+			wdGrace = chaosWatchdogGrace
+		}
+		return core.New(core.Config{
+			Clock:         c.clk,
+			Conductor:     cond,
+			PollEvery:     c.cfg.PollEvery,
+			Seed:          seed,
+			Telemetry:     c.tel,
+			WatchdogGrace: wdGrace,
+			StaticJobs: []sched.Request{
+				{Name: "continuum", NodeCount: contNodes, Cores: 24},
+			},
+			Couplings: []core.CouplingSpec{
+				// Setup jobs take 24 of a node's 44 cores, so at most one fits
+				// per node: cap the combined ready-buffer targets at the node
+				// count or queued setups head-of-line-block simulations
+				// (FCFS without backfilling).
+				c.cgCoupling(cgSlots, max(2, spec.Nodes*2/3)),
+				c.aaCoupling(aaSlots, max(1, spec.Nodes/3)),
+			},
+		})
+	}
+	wm, err := newWM(cond, c.cfg.Seed+int64(c.res.RunsDone))
 	if err != nil {
 		return nil, err
 	}
@@ -322,21 +367,82 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 			if victim == 0 {
 				return
 			}
-			aj := c.active[victim]
 			// Bank the progress made so far, then kill the job.
-			c.settle(aj.simID, aj.rate.SimFor(c.clk.Now().Sub(aj.start)), false)
-			if rec := c.recs[aj.simID]; rec != nil {
-				rec.candMark = rec.progress // avoid double-counting later
-			}
+			c.bankActive(victim)
 			delete(c.active, victim)
 			c.res.InjectedFailures++
-			if err := s.Fail(victim); err != nil {
+			if err := s.Fail(victim); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
 				// The victim was picked from the active set, so the
 				// scheduler disagreeing about its state is a coordination
-				// anomaly worth keeping, not a failure of the run.
+				// anomaly worth keeping, not a failure of the run. (Losing
+				// to the auto-completion race is benign and filtered.)
 				c.res.Anomalies = append(c.res.Anomalies,
 					fmt.Sprintf("fail-injection job %d: %v", victim, err))
 			}
+		})
+	}
+
+	// Chaos handlers: rebind the plan's timed fault classes to this
+	// allocation's scheduler/machine/WM. runActive gates stale events (a
+	// node revival armed in one allocation must not touch the next one's
+	// rebuilt machine).
+	runActive := true
+	if c.eng != nil {
+		c.eng.SetHandler(faults.NodeCrash, func(r faults.Rule, rng *rand.Rand) {
+			if !runActive {
+				return
+			}
+			node := rng.Intn(machine.NumNodes())
+			// Bank progress for the sims dying with the node; the workflow
+			// resubmits them and they resume from the banked progress (the
+			// simulations' own checkpoints survive the node).
+			for _, id := range c.sortedActiveIDs() {
+				job, ok := s.Job(id)
+				if ok && job.State == sched.Running && allocOnNode(job.Alloc, node) {
+					c.bankActive(id)
+				}
+			}
+			victims := s.Crash(node)
+			c.res.NodeCrashes++
+			msg := fmt.Sprintf("node-crash node=%d killed=%d recovery=%s", node, len(victims), r.Recovery)
+			c.noteFault(msg)
+			c.eng.Note(msg)
+			c.clk.After(r.Recovery, func() {
+				if !runActive {
+					return
+				}
+				s.Revive(node)
+				c.noteFault(fmt.Sprintf("node-revive node=%d", node))
+			})
+		})
+		c.eng.SetHandler(faults.JobHang, func(r faults.Rule, rng *rand.Rand) {
+			if !runActive {
+				return
+			}
+			ids := c.sortedActiveIDs()
+			if len(ids) == 0 {
+				return
+			}
+			id := ids[rng.Intn(len(ids))]
+			if !s.Hang(id) {
+				return
+			}
+			// Bank progress up to the wedge; from here the job holds its GPU
+			// while advancing nothing (zero rate) until the watchdog kills it
+			// or the allocation ends.
+			c.bankActive(id)
+			aj := c.active[id]
+			c.active[id] = activeJob{simID: aj.simID, start: c.clk.Now()}
+			c.res.JobHangs++
+			msg := fmt.Sprintf("job-hang job=%d sim=%s", id, aj.simID)
+			c.noteFault(msg)
+			c.eng.Note(msg)
+		})
+		c.eng.SetHandler(faults.WMCrash, func(faults.Rule, *rand.Rand) {
+			if !runActive {
+				return
+			}
+			c.restartWM(s, &wm, &cond, newWM)
 		})
 	}
 
@@ -368,6 +474,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	// submissions fail back into WM state), settle running simulations,
 	// and checkpoint.
 	snapshotsActive = false
+	runActive = false
 	wm.Stop()
 	prof.Stop()
 	cond.Close()
@@ -699,15 +806,133 @@ func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
 // pickActiveJob deterministically samples one running simulation job id
 // (0 when none are active).
 func (c *Campaign) pickActiveJob() sched.JobID {
-	if len(c.active) == 0 {
+	ids := c.sortedActiveIDs()
+	if len(ids) == 0 {
 		return 0
 	}
+	return ids[c.rng.Intn(len(ids))]
+}
+
+// sortedActiveIDs returns the active simulation job ids in ascending order —
+// the sanctioned way to sweep c.active (map order must not leak into the
+// replay).
+func (c *Campaign) sortedActiveIDs() []sched.JobID {
 	ids := make([]sched.JobID, 0, len(c.active))
 	for id := range c.active {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids[c.rng.Intn(len(ids))]
+	return ids
+}
+
+// bankActive settles a live simulation job's progress up to now and marks
+// the candidate accounting caught up — the step before anything kills the
+// job, so the progress its checkpoints hold is not lost and not recounted.
+func (c *Campaign) bankActive(id sched.JobID) {
+	aj, ok := c.active[id]
+	if !ok {
+		return
+	}
+	c.settle(aj.simID, aj.rate.SimFor(c.clk.Now().Sub(aj.start)), false)
+	if rec := c.recs[aj.simID]; rec != nil {
+		rec.candMark = rec.progress // avoid double-counting later
+	}
+}
+
+// allocOnNode reports whether any part of the allocation lives on node.
+func allocOnNode(a cluster.Alloc, node int) bool {
+	for _, part := range a.Parts {
+		if part.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// noteFault records one injected fault or recovery in the anomaly log,
+// stamped with virtual time. The lines are deterministic per (seed, plan),
+// so same-seed chaos replays produce identical anomaly lists.
+func (c *Campaign) noteFault(msg string) {
+	c.res.Anomalies = append(c.res.Anomalies,
+		"fault: "+c.clk.Now().UTC().Format("2006-01-02T15:04:05")+" "+msg)
+}
+
+// restartWM models an injected WM crash inside an allocation (§4.4: the WM
+// "can be restored completely after any such crash"): stop the dead
+// manager, flush its conductor, checkpoint its state, cold-kill the
+// allocation's job set (every configuration is in the checkpoint; running
+// simulations resume from banked progress), rebuild the WM, restore, and
+// restart. The conservation check asserts no selection was lost across the
+// crash. wm and cond point at the caller's rig so its closures (snapshots,
+// heartbeat) drive the rebuilt manager afterwards.
+func (c *Campaign) restartWM(s *sched.Scheduler, wm **core.Workflow, cond **maestro.Conductor,
+	newWM func(*maestro.Conductor, int64) (*core.Workflow, error)) {
+	old := *wm
+	before := old.Stats()
+	old.Stop()
+	(*cond).Close() // queued submissions fail back into the old WM's state
+	ck, err := old.Checkpoint()
+	if err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash checkpoint failed: %v", err))
+		return
+	}
+	for _, id := range c.sortedActiveIDs() {
+		c.bankActive(id)
+	}
+	orphans := 0
+	for _, id := range s.LiveJobs() {
+		if job, ok := s.Job(id); ok && job.State == sched.Running {
+			if err := s.Fail(id); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
+				c.res.Anomalies = append(c.res.Anomalies,
+					fmt.Sprintf("wm-crash kill job %d: %v", id, err))
+			}
+		} else if !s.Cancel(id) {
+			orphans++ // mid-match: it will run and finish unobserved
+		}
+	}
+	c.active = make(map[sched.JobID]activeJob)
+	next, err := maestro.NewConductor(c.clk, maestro.FluxBackend{S: s}, c.cfg.SubmitPerMinute)
+	if err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash conductor rebuild failed: %v", err))
+		return
+	}
+	c.res.WMRestarts++
+	// A restarted manager is a new process: distinct WM seed, same replay
+	// determinism (the offset is a pure function of campaign state).
+	seed := c.cfg.Seed + int64(c.res.RunsDone) + 7919*int64(c.res.WMRestarts)
+	nw, err := newWM(next, seed)
+	if err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash rebuild failed: %v", err))
+		return
+	}
+	if err := nw.RestoreState(ck); err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash restore failed: %v", err))
+		return
+	}
+	// No selection may be lost: everything ready, running, or in setup
+	// before the crash must be ready or in setup after the restore.
+	after := nw.Stats()
+	for i := range before {
+		if i >= len(after) {
+			break
+		}
+		want := before[i].Ready + before[i].Running + before[i].InSetup
+		got := after[i].Ready + after[i].InSetup
+		if got != want {
+			c.res.Anomalies = append(c.res.Anomalies,
+				fmt.Sprintf("wm-crash lost selections in %s: %d before, %d after",
+					before[i].Name, want, got))
+		}
+	}
+	if err := nw.Start(); err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash restart failed: %v", err))
+		return
+	}
+	msg := fmt.Sprintf("wm-crash restart=%d orphans=%d", c.res.WMRestarts, orphans)
+	c.noteFault(msg)
+	c.eng.Note(msg)
+	*wm = nw
+	*cond = next
 }
 
 func minSimTime(a, b units.SimTime) units.SimTime {

@@ -80,6 +80,14 @@ func (c *Campaign) fbPut(ns, key string, size int) {
 		return
 	}
 	if err := c.fbStore.Put(ns, key, make([]byte, size)); err != nil {
+		if c.eng != nil {
+			// Chaos replay: an injected permanent fault (or an exhausted
+			// retry budget) legitimately loses this record. Count it — the
+			// ledger stays deterministic — and move on.
+			c.res.StorePutErrors++
+			c.tel.Counter("campaign.store_put_errors_total").Inc()
+			return
+		}
 		// The in-memory store cannot fail a Put; treat one as a bug.
 		panic(err)
 	}

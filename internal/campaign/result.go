@@ -71,10 +71,20 @@ type Result struct {
 	// (all resubmitted by the workflow; see Config.FailuresPerDay).
 	InjectedFailures int `json:"injected_failures"`
 
-	// Anomalies records coordination errors that were survivable but must
-	// not vanish (errdiscipline): e.g. a failure-injection victim that the
-	// scheduler no longer considered running. An empty list is the normal
-	// case; a replay that produces a different list has diverged.
+	// Chaos-replay fault ledger (Config.Faults). Timed faults are also
+	// recorded individually in Anomalies; store-level faults are too chatty
+	// for that and are counted here and in telemetry only.
+	NodeCrashes    int `json:"node_crashes,omitempty"`
+	JobHangs       int `json:"job_hangs,omitempty"`
+	WMRestarts     int `json:"wm_restarts,omitempty"`
+	StorePutErrors int `json:"store_put_errors,omitempty"`
+
+	// Anomalies records events that were survivable but must not vanish
+	// (errdiscipline): coordination errors (e.g. a failure-injection victim
+	// the scheduler no longer considered running) and, in chaos replays,
+	// every injected timed fault and recovery ("fault:"-prefixed lines).
+	// Both kinds are deterministic per seed; a replay that produces a
+	// different list has diverged.
 	Anomalies []string `json:"anomalies,omitempty"`
 
 	// Derived headline statistics, filled by finalize.

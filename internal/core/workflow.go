@@ -97,6 +97,18 @@ type Config struct {
 	// 150-node job in the campaign.
 	StaticJobs []sched.Request
 	Seed       int64
+	// WatchdogGrace, when positive, arms the hung-job watchdog: a tracked
+	// job still running after Grace × its submitted Duration is presumed
+	// hung (a wedged simulation never reports completion on its own), is
+	// killed through the conductor, and re-enters the machine through the
+	// normal failure/resubmission path. Jobs submitted without a Duration
+	// are exempt. A sensible grace is 1.2–2.0.
+	WatchdogGrace float64
+	// WatchdogMaxKills caps watchdog kills per configuration (default 3
+	// when the watchdog is armed) so one persistently hung configuration
+	// cannot kill/resubmit forever; past the cap the job is left alone and
+	// wm.watchdog_exhausted_total counts it.
+	WatchdogMaxKills int
 	// Telemetry receives per-task spans and WM metrics (nil = discarded).
 	// See docs/OBSERVABILITY.md for the emitted names.
 	Telemetry *telemetry.Telemetry
@@ -128,6 +140,10 @@ type jobRecord struct {
 	role     jobRole
 	coupling int
 	point    dynim.Point
+	// dur is the submitted modeled duration; deadline is set at job start
+	// to now + WatchdogGrace×dur (zero = watchdog-exempt).
+	dur      time.Duration
+	deadline time.Time
 }
 
 type couplingState struct {
@@ -172,6 +188,13 @@ type Workflow struct {
 	stopped   bool
 	static    []sched.Request
 	pollEvery time.Duration
+
+	// Hung-job watchdog state (Task 3 armoring): kills are counted per
+	// coupling/configuration so a wedged configuration is abandoned after
+	// watchdogMaxKills rather than looping forever.
+	watchdogGrace    float64
+	watchdogMaxKills int
+	watchdogKills    map[string]int
 }
 
 // New validates the configuration and builds a Workflow (not yet running).
@@ -189,14 +212,20 @@ func New(cfg Config) (*Workflow, error) {
 	if tel == nil {
 		tel = telemetry.Nop()
 	}
+	if cfg.WatchdogGrace > 0 && cfg.WatchdogMaxKills <= 0 {
+		cfg.WatchdogMaxKills = 3
+	}
 	w := &Workflow{
-		clk:       cfg.Clock,
-		cond:      cfg.Conductor,
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		tel:       tel,
-		jobs:      make(map[sched.JobID]jobRecord),
-		static:    cfg.StaticJobs,
-		pollEvery: cfg.PollEvery,
+		clk:              cfg.Clock,
+		cond:             cfg.Conductor,
+		rng:              rand.New(rand.NewSource(cfg.Seed + 1)),
+		tel:              tel,
+		jobs:             make(map[sched.JobID]jobRecord),
+		static:           cfg.StaticJobs,
+		pollEvery:        cfg.PollEvery,
+		watchdogGrace:    cfg.WatchdogGrace,
+		watchdogMaxKills: cfg.WatchdogMaxKills,
+		watchdogKills:    make(map[string]int),
 	}
 	names := map[string]bool{}
 	for i := range cfg.Couplings {
@@ -221,6 +250,10 @@ func New(cfg Config) (*Workflow, error) {
 func (w *Workflow) onJobStart(id sched.JobID) {
 	w.mu.Lock()
 	rec, ok := w.jobs[id]
+	if ok && w.watchdogGrace > 0 && rec.dur > 0 {
+		rec.deadline = w.clk.Now().Add(time.Duration(w.watchdogGrace * float64(rec.dur)))
+		w.jobs[id] = rec
+	}
 	var cb func(dynim.Point, sched.JobID)
 	if ok && rec.role == roleSim {
 		cb = w.couplings[rec.coupling].spec.OnSimStart
@@ -327,10 +360,48 @@ func (w *Workflow) Poll() {
 	for i := range w.couplings {
 		w.pollCoupling(i)
 	}
+	overdue := w.watchdogSweepLocked()
 	w.tel.Histogram("wm.lock_hold_ms", "ms", nil).Observe(w.tel.MsSince(holdStart))
 	w.tel.Histogram("wm.poll_ms", "ms", nil).Observe(w.tel.MsSince(waitStart))
 	w.mu.Unlock()
 	sp.End()
+	// Kills happen outside the lock: Fail drives the backend's terminal
+	// callback, which re-enters onJobFinish and takes w.mu itself.
+	for _, id := range overdue {
+		if err := w.cond.Fail(id); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
+			w.tel.Counter("wm.watchdog_kill_errors_total").Inc()
+		}
+	}
+}
+
+// watchdogSweepLocked finds tracked jobs past their deadlines and charges
+// their kill budgets, returning the IDs to kill in ascending order. Caller
+// holds w.mu.
+func (w *Workflow) watchdogSweepLocked() []sched.JobID {
+	if w.watchdogGrace <= 0 {
+		return nil
+	}
+	now := w.clk.Now()
+	var overdue []sched.JobID
+	for _, id := range w.sortedJobIDsLocked() {
+		rec := w.jobs[id]
+		if rec.deadline.IsZero() || now.Before(rec.deadline) {
+			continue
+		}
+		name := w.couplings[rec.coupling].spec.Name
+		key := name + "/" + rec.point.ID
+		if w.watchdogKills[key] >= w.watchdogMaxKills {
+			w.tel.Counter(telemetry.Name("wm.watchdog_exhausted_total", "coupling", name)).Inc()
+			// Stop reconsidering it every poll: zero the deadline.
+			rec.deadline = time.Time{}
+			w.jobs[id] = rec
+			continue
+		}
+		w.watchdogKills[key]++
+		w.tel.Counter(telemetry.Name("wm.watchdog_kills_total", "coupling", name)).Inc()
+		overdue = append(overdue, id)
+	}
+	return overdue
 }
 
 // pollCoupling holds w.mu.
@@ -424,7 +495,7 @@ func (w *Workflow) submitLocked(req sched.Request, coupling int, role jobRole, p
 				cs.redoSetup = append(cs.redoSetup, p)
 			} else {
 				cs.inSetup++
-				w.jobs[id] = jobRecord{role: roleSetup, coupling: coupling, point: p}
+				w.jobs[id] = jobRecord{role: roleSetup, coupling: coupling, point: p, dur: req.Duration}
 			}
 		case roleSim:
 			cs.pendingSim--
@@ -434,7 +505,7 @@ func (w *Workflow) submitLocked(req sched.Request, coupling int, role jobRole, p
 				cs.ready = append(cs.ready, p)
 			} else {
 				cs.running++
-				w.jobs[id] = jobRecord{role: roleSim, coupling: coupling, point: p}
+				w.jobs[id] = jobRecord{role: roleSim, coupling: coupling, point: p, dur: req.Duration}
 			}
 		}
 		w.mu.Unlock()
@@ -481,6 +552,8 @@ func (w *Workflow) onJobFinish(id sched.JobID, st sched.State) {
 		cs.running--
 		if st == sched.Completed {
 			cs.completed++
+			// A clean completion clears the configuration's watchdog budget.
+			delete(w.watchdogKills, cs.spec.Name+"/"+rec.point.ID)
 			w.tel.Counter(telemetry.Name("wm.sims_completed_total", "coupling", cs.spec.Name)).Inc()
 		} else {
 			cs.failedSims++

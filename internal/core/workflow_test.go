@@ -14,6 +14,7 @@ import (
 	"mummi/internal/maestro"
 	"mummi/internal/sched"
 	"mummi/internal/sim"
+	"mummi/internal/telemetry"
 	"mummi/internal/vclock"
 )
 
@@ -343,5 +344,138 @@ func TestRestoreErrors(t *testing.T) {
 	}
 	if _, err := SelectorCheckpoint([]byte(`{"couplings":[]}`), "x"); err == nil {
 		t.Error("missing coupling accepted")
+	}
+}
+
+func TestWatchdogKillsHungJob(t *testing.T) {
+	r := newRig(t, 1)
+	sel := dynim.NewFarthestPoint(1, 0)
+	spec := cgCoupling(sel, 1, 1)
+	spec.SimDuration = func(rng *rand.Rand, p dynim.Point) time.Duration { return 6 * time.Hour }
+	var simJobs []sched.JobID
+	spec.OnSimStart = func(p dynim.Point, id sched.JobID) { simJobs = append(simJobs, id) }
+	tel := telemetry.Nop()
+	w, err := New(Config{Clock: r.clk, Conductor: r.cond, Couplings: []CouplingSpec{spec},
+		PollEvery: 2 * time.Minute, WatchdogGrace: 1.5, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddCandidate("continuum-to-cg", dynim.Point{ID: "only", Coords: []float64{1}})
+	w.Start()
+	r.clk.RunFor(2 * time.Hour) // setup (1h) + sim start
+	if len(simJobs) != 1 {
+		t.Fatalf("starts = %d", len(simJobs))
+	}
+	// Wedge the simulation: it will never auto-complete; deadline is
+	// start + 1.5×6h = 9h.
+	if !r.s.Hang(simJobs[0]) {
+		t.Fatal("could not hang the sim")
+	}
+	r.clk.RunFor(12 * time.Hour)
+	if len(simJobs) != 2 {
+		t.Fatalf("watchdog did not resubmit the hung sim: starts = %d", len(simJobs))
+	}
+	if got, _ := r.s.Job(simJobs[0]); got.State != sched.Failed {
+		t.Errorf("hung job = %v, want Failed", got.State)
+	}
+	if got := tel.Registry().Counter("wm.watchdog_kills_total{coupling=continuum-to-cg}").Value(); got != 1 {
+		t.Errorf("watchdog_kills_total = %d, want 1", got)
+	}
+	// The healthy retry completes and clears the configuration's budget.
+	r.clk.RunFor(12 * time.Hour)
+	if st := w.Stats()[0]; st.CompletedSims != 1 {
+		t.Errorf("CompletedSims = %d after retry", st.CompletedSims)
+	}
+}
+
+func TestWatchdogKillBudgetExhausted(t *testing.T) {
+	r := newRig(t, 1)
+	sel := dynim.NewFarthestPoint(1, 0)
+	spec := cgCoupling(sel, 1, 1)
+	spec.SimDuration = func(rng *rand.Rand, p dynim.Point) time.Duration { return time.Hour }
+	starts := 0
+	spec.OnSimStart = func(p dynim.Point, id sched.JobID) {
+		starts++
+		r.s.Hang(id) // this configuration wedges every single time
+	}
+	tel := telemetry.Nop()
+	w, _ := New(Config{Clock: r.clk, Conductor: r.cond, Couplings: []CouplingSpec{spec},
+		PollEvery: 2 * time.Minute, WatchdogGrace: 1.5, WatchdogMaxKills: 2, Telemetry: tel})
+	w.AddCandidate("continuum-to-cg", dynim.Point{ID: "cursed", Coords: []float64{1}})
+	w.Start()
+	r.clk.RunFor(48 * time.Hour)
+	// Two kills, then the budget is exhausted and the third run is left
+	// alone rather than cycling forever.
+	if starts != 3 {
+		t.Errorf("starts = %d, want 3 (initial + 2 watchdog retries)", starts)
+	}
+	reg := tel.Registry()
+	if got := reg.Counter("wm.watchdog_kills_total{coupling=continuum-to-cg}").Value(); got != 2 {
+		t.Errorf("watchdog_kills_total = %d, want 2", got)
+	}
+	if got := reg.Counter("wm.watchdog_exhausted_total{coupling=continuum-to-cg}").Value(); got == 0 {
+		t.Error("watchdog_exhausted_total never counted")
+	}
+	if st := w.Stats()[0]; st.CompletedSims != 0 {
+		t.Errorf("CompletedSims = %d for a permanently hung config", st.CompletedSims)
+	}
+}
+
+func TestDrainUndrainMidCampaign(t *testing.T) {
+	r := newRig(t, 2)
+	sel := dynim.NewFarthestPoint(1, 0)
+	spec := cgCoupling(sel, 12, 6)
+	// Cheap, quick setups so the ready buffer keeps all 12 GPUs loaded and
+	// the placement pattern (not setup throughput) is what the test sees.
+	spec.SetupReq = sched.Request{Name: "createsim", Cores: 4}
+	spec.SetupDuration = func(rng *rand.Rand) time.Duration { return 30 * time.Minute }
+	spec.SimDuration = func(rng *rand.Rand, p dynim.Point) time.Duration { return 3 * time.Hour }
+	live := map[sched.JobID]bool{}
+	spec.OnSimStart = func(p dynim.Point, id sched.JobID) { live[id] = true }
+	spec.OnSimEnd = func(p dynim.Point, id sched.JobID, st sched.State) { delete(live, id) }
+	w, err := New(Config{Clock: r.clk, Conductor: r.cond,
+		Couplings: []CouplingSpec{spec}, PollEvery: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.AddCandidate("continuum-to-cg", dynim.Point{ID: fmt.Sprintf("p%03d", i),
+			Coords: []float64{float64(i)}})
+	}
+	w.Start()
+	onNode := func(node int) int {
+		n := 0
+		for id := range live {
+			j, ok := r.s.Job(id)
+			if ok && j.State == sched.Running && j.Alloc.Parts[0].Node == node {
+				n++
+			}
+		}
+		return n
+	}
+	r.clk.RunFor(8 * time.Hour) // steady state: both nodes loaded
+	if onNode(0) == 0 || onNode(1) == 0 {
+		t.Fatalf("not at steady state: node0=%d node1=%d", onNode(0), onNode(1))
+	}
+
+	r.s.Drain(0)
+	// Running jobs on the drained node finish their 3h normally; no new
+	// match may land there while the other node keeps cycling.
+	r.clk.RunFor(4 * time.Hour)
+	if got := onNode(0); got != 0 {
+		t.Errorf("drained node still hosts %d sims after their durations elapsed", got)
+	}
+	if got := onNode(1); got == 0 {
+		t.Error("healthy node starved while node 0 was drained")
+	}
+	r.clk.RunFor(4 * time.Hour)
+	if got := onNode(0); got != 0 {
+		t.Errorf("drained node repopulated: %d sims", got)
+	}
+
+	r.s.Undrain(0)
+	r.clk.RunFor(4 * time.Hour)
+	if got := onNode(0); got == 0 {
+		t.Error("undrained node never woke: no sims placed on it")
 	}
 }

@@ -19,6 +19,14 @@ import (
 // ErrNotFound is returned when a key does not exist in a namespace.
 var ErrNotFound = errors.New("datastore: key not found")
 
+// ErrTransient marks an error as retryable: the operation failed for a
+// reason expected to clear on its own (a flaky parallel-filesystem call, a
+// reset database connection, an injected chaos fault). Backends and fault
+// injectors wrap ErrTransient into such errors; Armor retries exactly the
+// errors for which errors.Is(err, ErrTransient) holds and treats everything
+// else — including ErrNotFound — as permanent.
+var ErrTransient = errors.New("datastore: transient error")
+
 // Store is the abstract data interface. A Store holds byte values addressed
 // by (namespace, key). Namespaces map to directories (filesystem backend),
 // archives (taridx backend), or key prefixes (database backend).

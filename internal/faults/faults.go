@@ -1,0 +1,265 @@
+// Package faults is the deterministic fault-injection engine behind the
+// repo's chaos campaigns. A campaign configures it from a declarative Plan
+// — six fault classes, each with a rate and an optional time window — and
+// the engine turns the plan into a per-seed schedule of injected faults on
+// the virtual clock. Determinism is the point: every random draw comes from
+// per-rule seeded generators and every schedule decision is a function of
+// (plan, seed, virtual time), so two same-seed chaos runs with the same
+// plan replay byte-identically — which is what makes the resilience paths
+// (datastore.Armor retries, sched.Crash/Revive, the core watchdog, the
+// campaign's WM crash-restart loop) testable as exactly reproducible
+// scenarios rather than flaky ones (§4.4/§5 of the paper; Mini-MuMMI calls
+// fault recovery the hardest part of porting this coordination layer).
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class names one injectable fault type.
+type Class string
+
+// The six fault classes. The store classes are consulted per store
+// operation (Rate is a probability in [0,1]); the timed classes fire as a
+// seeded Poisson process (Rate is an expected count per day of virtual
+// time).
+const (
+	// StoreTransient makes a store operation fail with an error wrapping
+	// datastore.ErrTransient — the armor retries it.
+	StoreTransient Class = "store-transient-error"
+	// StoreLatency charges a modeled latency spike to a store operation
+	// (accounted in telemetry; the operation still succeeds).
+	StoreLatency Class = "store-latency-spike"
+	// StorePermanent makes a store operation fail with a permanent error —
+	// the armor must give up immediately, not burn its budget.
+	StorePermanent Class = "store-permanent-error"
+	// NodeCrash kills the jobs running on one node and drains it
+	// (sched.Crash), reviving it after Rule.Recovery.
+	NodeCrash Class = "node-crash"
+	// JobHang makes one running job never report completion
+	// (sched.Hang); the core watchdog detects and resubmits it.
+	JobHang Class = "job-hang"
+	// WMCrash kills the workflow manager mid-run; the campaign serializes
+	// it via Checkpoint, rebuilds it from scratch, and continues.
+	WMCrash Class = "wm-crash"
+)
+
+// Classes lists every fault class, in canonical order.
+func Classes() []Class {
+	return []Class{StoreTransient, StoreLatency, StorePermanent, NodeCrash, JobHang, WMCrash}
+}
+
+// ErrInjectedPermanent is the permanent (non-retryable) error injected by
+// StorePermanent faults. It deliberately does not wrap
+// datastore.ErrTransient, so armored stores surface it without retrying.
+var ErrInjectedPermanent = errors.New("faults: injected permanent error")
+
+// Rule enables one fault class.
+type Rule struct {
+	// Class selects the fault type.
+	Class Class `json:"class"`
+	// Rate is a per-operation probability for store classes and an
+	// expected events-per-day for timed classes.
+	Rate float64 `json:"rate"`
+	// Start/End bound the injection window as offsets from the engine's
+	// start; End 0 leaves the window open-ended.
+	Start time.Duration `json:"start,omitempty"`
+	End   time.Duration `json:"end,omitempty"`
+	// Latency is the modeled delay of a StoreLatency hit (default 2s).
+	Latency time.Duration `json:"latency,omitempty"`
+	// Recovery is how long a NodeCrash keeps the node drained before the
+	// engine revives it (default 1h).
+	Recovery time.Duration `json:"recovery,omitempty"`
+}
+
+// timed reports whether the class fires on a schedule (vs. per store op).
+func (c Class) timed() bool {
+	return c == NodeCrash || c == JobHang || c == WMCrash
+}
+
+func (c Class) known() bool {
+	for _, k := range Classes() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a declarative fault-injection configuration.
+type Plan struct {
+	// Seed drives every random draw the engine makes; the campaign offsets
+	// it per allocation so runs differ while same-seed replays match.
+	Seed int64 `json:"seed"`
+	// Rules lists the enabled fault classes.
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks rates and classes.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if !r.Class.known() {
+			return fmt.Errorf("faults: rule %d: unknown class %q", i, r.Class)
+		}
+		if r.Rate < 0 {
+			return fmt.Errorf("faults: rule %d (%s): negative rate %g", i, r.Class, r.Rate)
+		}
+		if !r.Class.timed() && r.Rate > 1 {
+			return fmt.Errorf("faults: rule %d (%s): store-class rate %g is a probability, must be <= 1",
+				i, r.Class, r.Rate)
+		}
+		if r.End != 0 && r.End < r.Start {
+			return fmt.Errorf("faults: rule %d (%s): window end %v before start %v",
+				i, r.Class, r.End, r.Start)
+		}
+	}
+	return nil
+}
+
+// withDefaults fills per-rule defaults.
+func (r Rule) withDefaults() Rule {
+	if r.Class == StoreLatency && r.Latency <= 0 {
+		r.Latency = 2 * time.Second
+	}
+	if r.Class == NodeCrash && r.Recovery <= 0 {
+		r.Recovery = time.Hour
+	}
+	return r
+}
+
+// ParsePlan decodes a JSON plan document.
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: bad plan JSON: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ParseFlag interprets the -faults flag value: a path to a JSON plan file,
+// or an inline spec of the form
+//
+//	seed=7;store-transient-error:0.2;node-crash:4/day@2h..8h;wm-crash:1/day
+//
+// Entries are semicolon-separated. "seed=N" sets the seed; every other
+// entry is class:rate, where rate is a probability (store classes) or an
+// events-per-day count with an optional "/day" suffix (timed classes), with
+// an optional "@start..end" window of Go durations.
+func ParseFlag(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("faults: empty plan")
+	}
+	if data, err := os.ReadFile(s); err == nil {
+		return ParsePlan(data)
+	}
+	if strings.HasPrefix(s, "{") {
+		return ParsePlan([]byte(s))
+	}
+	return parseInline(s)
+}
+
+func parseInline(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(entry, "seed="); ok {
+			seed, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", rest)
+			}
+			p.Seed = seed
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: entry %q is not class:rate", entry)
+		}
+		r := Rule{Class: Class(strings.TrimSpace(name))}
+		if spec, window, hasWindow := cutWindow(spec); hasWindow {
+			var err error
+			if r.Start, r.End, err = parseWindow(window); err != nil {
+				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
+			}
+			rate, err := parseRate(spec)
+			if err != nil {
+				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
+			}
+			r.Rate = rate
+		} else {
+			rate, err := parseRate(spec)
+			if err != nil {
+				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
+			}
+			r.Rate = rate
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func cutWindow(spec string) (rate, window string, ok bool) {
+	rate, window, ok = strings.Cut(spec, "@")
+	return strings.TrimSpace(rate), strings.TrimSpace(window), ok
+}
+
+func parseRate(s string) (float64, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "/day")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v, nil
+}
+
+func parseWindow(s string) (start, end time.Duration, err error) {
+	from, to, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad window %q (want start..end)", s)
+	}
+	if from = strings.TrimSpace(from); from != "" {
+		if start, err = time.ParseDuration(from); err != nil {
+			return 0, 0, fmt.Errorf("bad window start %q", from)
+		}
+	}
+	if to = strings.TrimSpace(to); to != "" {
+		if end, err = time.ParseDuration(to); err != nil {
+			return 0, 0, fmt.Errorf("bad window end %q", to)
+		}
+	}
+	return start, end, nil
+}
+
+// AggressivePlan returns a plan with every fault class enabled at the rates
+// the CI chaos smoke uses: high enough that a short scaled campaign sees
+// all six classes, low enough that it still completes.
+func AggressivePlan(seed int64) *Plan {
+	return &Plan{
+		Seed: seed,
+		Rules: []Rule{
+			{Class: StoreTransient, Rate: 0.10},
+			{Class: StoreLatency, Rate: 0.05, Latency: 2 * time.Second},
+			{Class: StorePermanent, Rate: 0.01},
+			{Class: NodeCrash, Rate: 8, Recovery: 30 * time.Minute},
+			{Class: JobHang, Rate: 12},
+			{Class: WMCrash, Rate: 2},
+		},
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"mummi/internal/datastore"
 	"mummi/internal/datastore/dstest"
+	"mummi/internal/telemetry"
 )
 
 func TestConformance(t *testing.T) {
@@ -19,6 +20,18 @@ func TestConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		return s
+	})
+}
+
+// TestArmoredConformance re-runs the suite through datastore.Armor: the
+// retry wrapper must be semantically invisible over a healthy backend.
+func TestArmoredConformance(t *testing.T) {
+	dstest.Run(t, func(t *testing.T) datastore.Store {
+		s, err := New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return datastore.Armor(s, telemetry.Nop(), "fs", datastore.ArmorOptions{})
 	})
 }
 

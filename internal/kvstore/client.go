@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"mummi/internal/retry"
 )
 
 // Client is a synchronous connection to one server with explicit pipelining
@@ -14,20 +16,38 @@ import (
 // for throughput-critical paths, use the Pipeline methods to batch round
 // trips, as the paper's feedback loop batches its Redis queries.
 type Client struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu      sync.Mutex
+	addr    string
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	policy  retry.Policy
+	retries uint64
 }
 
-// Dial connects to a server.
+// Dial connects to a server with the default reconnect policy (see
+// retry.Policy: 4 attempts, 100ms base backoff).
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
+	return DialPolicy(addr, retry.Policy{})
+}
+
+// DialPolicy connects with an explicit reconnect-retry policy. The initial
+// dial is never retried — a wrong address should fail fast; the policy
+// governs the transparent reconnects inside do.
+func DialPolicy(addr string, p retry.Policy) (*Client, error) {
+	c := &Client{addr: addr, policy: p}
 	if err := c.reconnect(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Retries reports how many transparent reconnect-retries the client has
+// performed since Dial (one per extra attempt, not per command).
+func (c *Client) Retries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
 }
 
 func (c *Client) reconnect() error {
@@ -41,18 +61,31 @@ func (c *Client) reconnect() error {
 	return nil
 }
 
-// do sends one command and reads one reply, reconnecting once on a broken
-// connection (the paper leans on Redis redundancy/retry for resilience; a
-// single transparent retry is our equivalent for transient resets).
+// do sends one command and reads one reply, transparently reconnecting with
+// bounded backoff on a broken connection (the paper leans on Redis
+// redundancy/retry for resilience; the shared retry.Policy is our
+// equivalent for transient resets). A closed client never retries. The
+// client lock is held across backoff sleeps — commands are serialized
+// anyway, and queueing behind a reconnect beats interleaving with it.
 func (c *Client) do(args ...[]byte) (*reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rep, err := c.doLocked(args...)
-	if err != nil && c.conn != nil {
-		if rerr := c.reconnect(); rerr == nil {
+	var rep *reply
+	first := true
+	_, err := c.policy.Do(time.Sleep,
+		func(error) bool { return c.conn != nil },
+		func() error {
+			if !first {
+				c.retries++
+				if rerr := c.reconnect(); rerr != nil {
+					return rerr
+				}
+			}
+			first = false
+			var err error
 			rep, err = c.doLocked(args...)
-		}
-	}
+			return err
+		})
 	return rep, err
 }
 

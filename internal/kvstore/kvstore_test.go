@@ -11,6 +11,9 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"mummi/internal/retry"
 )
 
 // ---------------------------------------------------------------------------
@@ -480,6 +483,44 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 	v, err := c.Get("k")
 	if err != nil || string(v) != "v" {
 		t.Fatalf("Get after restart = %q, %v", v, err)
+	}
+	if c.Retries() == 0 {
+		t.Error("Retries = 0 after a forced reconnect")
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	// When the server stays down, the client gives up after the policy's
+	// attempt budget instead of hanging — and reports how hard it tried.
+	e := NewEngine()
+	s := NewServer(e)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialPolicy(addr, retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // server gone for good
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping succeeded against a dead server")
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("Retries = %d, want 2 (3 attempts = 1 try + 2 retries)", got)
+	}
+	// A closed client fails fast: no retries against a nil connection.
+	before := c.Retries()
+	c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping succeeded on a closed client")
+	}
+	if got := c.Retries(); got != before {
+		t.Errorf("closed client retried: %d -> %d", before, got)
 	}
 }
 

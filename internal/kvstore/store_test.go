@@ -8,6 +8,7 @@ import (
 	"mummi/internal/datastore"
 	"mummi/internal/datastore/dstest"
 	"mummi/internal/kvstore"
+	"mummi/internal/telemetry"
 )
 
 func TestStoreConformance(t *testing.T) {
@@ -22,6 +23,23 @@ func TestStoreConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		return s
+	})
+}
+
+// TestArmoredStoreConformance re-runs the suite through datastore.Armor:
+// the retry wrapper must be semantically invisible over a healthy cluster.
+func TestArmoredStoreConformance(t *testing.T) {
+	dstest.Run(t, func(t *testing.T) datastore.Store {
+		addrs, shutdown, err := kvstore.LaunchCluster(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(shutdown)
+		s, err := datastore.Open(datastore.Config{Backend: datastore.BackendKV, Addrs: addrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return datastore.Armor(s, telemetry.Nop(), "kv", datastore.ArmorOptions{})
 	})
 }
 

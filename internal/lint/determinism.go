@@ -21,7 +21,9 @@ import (
 //     picks a ready case pseudo-randomly).
 //
 // Scope: the selector engine (dynim, knn, parallel) plus the workflow
-// manager (core), whose checkpoint/restore sweeps feed campaign replays.
+// manager (core), whose checkpoint/restore sweeps feed campaign replays,
+// plus the fault-injection engine (faults), whose schedules must be a pure
+// function of the plan seed for chaos replays to be byte-identical.
 // dynim, knn, and parallel import no module packages outside this set, so
 // whole-package analysis over-approximates "reachable from the
 // FarthestPoint rank/selection paths".
@@ -31,6 +33,7 @@ var Determinism = &Analyzer{
 	Scope: func(pkgPath string) bool {
 		for _, suffix := range []string{
 			"internal/dynim", "internal/knn", "internal/parallel", "internal/core",
+			"internal/faults",
 		} {
 			if strings.HasSuffix(pkgPath, suffix) {
 				return true

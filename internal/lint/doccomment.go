@@ -22,13 +22,15 @@ import (
 //   - each package needs a package comment on at least one file.
 //
 // Scope: the packages the telemetry layer touches (core, sched, datastore,
-// telemetry) — the ones OBSERVABILITY.md documents.
+// telemetry) — the ones OBSERVABILITY.md documents — plus the chaos
+// surface (faults, retry), which RESILIENCE.md documents.
 var DocComment = &Analyzer{
 	Name: "doccomment",
-	Doc:  "requires doc comments on exported identifiers in the instrumented packages (core, sched, datastore, telemetry)",
+	Doc:  "requires doc comments on exported identifiers in the instrumented packages (core, sched, datastore, telemetry, faults, retry)",
 	Scope: func(pkgPath string) bool {
 		for _, suffix := range []string{
 			"internal/core", "internal/sched", "internal/datastore", "internal/telemetry",
+			"internal/faults", "internal/retry",
 		} {
 			if strings.HasSuffix(pkgPath, suffix) {
 				return true

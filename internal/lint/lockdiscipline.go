@@ -32,7 +32,8 @@ var LockDiscipline = &Analyzer{
 	Doc:  "flags leaked locks, blocking operations under a held mutex, and by-value copies of lock-bearing structs",
 	Scope: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core") ||
-			strings.HasSuffix(pkgPath, "internal/sched")
+			strings.HasSuffix(pkgPath, "internal/sched") ||
+			strings.HasSuffix(pkgPath, "internal/faults")
 	},
 	Run: runLockDiscipline,
 }

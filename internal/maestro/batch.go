@@ -2,6 +2,7 @@ package maestro
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"mummi/internal/cluster"
@@ -30,6 +31,8 @@ type BatchBackend struct {
 	queue    []sched.JobID
 	onStart  func(sched.JobID)
 	onFinish func(sched.JobID, sched.State)
+	// finishErrs counts unexpected auto-completion failures (model bugs).
+	finishErrs int64
 }
 
 type batchJob struct {
@@ -99,7 +102,15 @@ func (b *BatchBackend) drainLocked() []sched.JobID {
 		started = append(started, j.id)
 		if j.req.Duration > 0 {
 			id := j.id
-			b.clk.After(j.req.Duration, func() { b.finish(id, sched.Completed) })
+			b.clk.After(j.req.Duration, func() {
+				// Losing to a manual Complete/Fail is the one benign outcome
+				// of the auto-completion race; anything else is a model bug.
+				if err := b.finish(id, sched.Completed); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
+					b.mu.Lock()
+					b.finishErrs++
+					b.mu.Unlock()
+				}
+			})
 		}
 	}
 	return started
@@ -127,12 +138,20 @@ func (b *BatchBackend) notifyStart(id sched.JobID) {
 	}
 }
 
-func (b *BatchBackend) finish(id sched.JobID, st sched.State) {
+func (b *BatchBackend) finish(id sched.JobID, st sched.State) error {
 	b.mu.Lock()
 	j := b.jobs[id]
-	if j == nil || j.state != sched.Running {
+	if j == nil {
 		b.mu.Unlock()
-		return
+		return fmt.Errorf("maestro: unknown batch job %d", id)
+	}
+	if j.state != sched.Running {
+		if j.state == sched.Completed || j.state == sched.Failed {
+			b.mu.Unlock()
+			return fmt.Errorf("maestro: batch job %d: %w", id, sched.ErrAlreadyTerminal)
+		}
+		b.mu.Unlock()
+		return fmt.Errorf("maestro: batch job %d is %v, not running", id, j.state)
 	}
 	j.state = st
 	b.machine.Release(j.alloc)
@@ -145,13 +164,14 @@ func (b *BatchBackend) finish(id sched.JobID, st sched.State) {
 	for _, sid := range started {
 		b.notifyStart(sid)
 	}
+	return nil
 }
 
 // Complete marks a running job done (drivers without Duration call this).
-func (b *BatchBackend) Complete(id sched.JobID) { b.finish(id, sched.Completed) }
+func (b *BatchBackend) Complete(id sched.JobID) error { return b.finish(id, sched.Completed) }
 
-// Fail marks a running job failed.
-func (b *BatchBackend) Fail(id sched.JobID) { b.finish(id, sched.Failed) }
+// Fail implements Backend: it marks a running job failed.
+func (b *BatchBackend) Fail(id sched.JobID) error { return b.finish(id, sched.Failed) }
 
 // Cancel implements Backend (pending jobs only).
 func (b *BatchBackend) Cancel(id sched.JobID) bool {

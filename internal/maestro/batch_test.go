@@ -1,6 +1,7 @@
 package maestro_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -107,13 +108,20 @@ func TestBatchCancelAndManualComplete(t *testing.T) {
 	if b.Cancel(sched.JobID(1)) {
 		t.Error("cancel of running job succeeded")
 	}
-	b.Complete(sched.JobID(1))
+	if err := b.Complete(sched.JobID(1)); err != nil {
+		t.Fatalf("manual complete: %v", err)
+	}
 	if st, _ := b.State(sched.JobID(1)); st != sched.Completed {
 		t.Errorf("manual complete = %v", st)
 	}
-	b.Fail(sched.JobID(2))
+	if err := b.Fail(sched.JobID(2)); err != nil {
+		t.Fatalf("manual fail: %v", err)
+	}
 	if st, _ := b.State(sched.JobID(2)); st != sched.Failed {
 		t.Errorf("manual fail = %v", st)
+	}
+	if err := b.Fail(sched.JobID(2)); !errors.Is(err, sched.ErrAlreadyTerminal) {
+		t.Errorf("double fail = %v, want ErrAlreadyTerminal", err)
 	}
 	clk.RunFor(time.Minute)
 	if _, ok := b.State(sched.JobID(999)); ok {

@@ -24,6 +24,10 @@ import (
 type Backend interface {
 	Submit(req sched.Request) (sched.JobID, error)
 	Cancel(id sched.JobID) bool
+	// Fail forces a running job to the failed state (watchdog kills, crash
+	// handling). Failing an already-terminal job returns an error matching
+	// sched.ErrAlreadyTerminal.
+	Fail(id sched.JobID) error
 	// OnFinish registers a terminal-state callback (completed/failed/
 	// canceled).
 	OnFinish(fn func(id sched.JobID, state sched.State))
@@ -45,6 +49,9 @@ func (f FluxBackend) Submit(req sched.Request) (sched.JobID, error) {
 
 // Cancel implements Backend.
 func (f FluxBackend) Cancel(id sched.JobID) bool { return f.S.Cancel(id) }
+
+// Fail implements Backend.
+func (f FluxBackend) Fail(id sched.JobID) error { return f.S.Fail(id) }
 
 // OnFinish implements Backend.
 func (f FluxBackend) OnFinish(fn func(sched.JobID, sched.State)) {
@@ -157,6 +164,10 @@ func (c *Conductor) Submitted() int64 {
 
 // Cancel forwards to the backend.
 func (c *Conductor) Cancel(id sched.JobID) bool { return c.backend.Cancel(id) }
+
+// Fail forwards to the backend: it forces a running job to the failed
+// state, which drives the same terminal callback as a natural failure.
+func (c *Conductor) Fail(id sched.JobID) error { return c.backend.Fail(id) }
 
 // OnFinish forwards to the backend.
 func (c *Conductor) OnFinish(fn func(sched.JobID, sched.State)) { c.backend.OnFinish(fn) }

@@ -36,6 +36,7 @@ func (f *fakeBackend) Submit(req sched.Request) (sched.JobID, error) {
 	return sched.JobID(len(f.subs)), nil
 }
 func (f *fakeBackend) Cancel(sched.JobID) bool                    { return true }
+func (f *fakeBackend) Fail(sched.JobID) error                     { return nil }
 func (f *fakeBackend) OnFinish(fn func(sched.JobID, sched.State)) { f.onFinish = fn }
 func (f *fakeBackend) OnStart(fn func(sched.JobID))               { f.onStart = fn }
 

@@ -1,0 +1,91 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 7}
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := p.Backoff(attempt)
+		b := p.Backoff(attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a > time.Second {
+			t.Fatalf("attempt %d: backoff %v above MaxDelay", attempt, a)
+		}
+		if a <= 0 {
+			t.Fatalf("attempt %d: nonpositive backoff %v", attempt, a)
+		}
+	}
+	// Different seeds must produce different jitter streams (with near
+	// certainty for any fixed attempt).
+	q := p
+	q.Seed = 8
+	if p.Backoff(3) == q.Backoff(3) {
+		t.Errorf("seeds 7 and 8 produced identical jittered backoff")
+	}
+}
+
+func TestBackoffGrows(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Hour, Jitter: -1}
+	if got := p.Backoff(1); got != 10*time.Millisecond {
+		t.Fatalf("attempt 1 = %v, want 10ms", got)
+	}
+	if got := p.Backoff(3); got != 40*time.Millisecond {
+		t.Fatalf("attempt 3 = %v, want 40ms (2x growth)", got)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	var slept []time.Duration
+	attempts, err := Policy{MaxAttempts: 5}.Do(
+		func(d time.Duration) { slept = append(slept, d) },
+		nil,
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("flaky")
+			}
+			return nil
+		})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want 3/3/nil", attempts, calls, err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	attempts, err := Policy{MaxAttempts: 3}.Do(nil, nil, func() error { return boom })
+	if !errors.Is(err, boom) || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v, want 3/boom", attempts, err)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	attempts, err := Policy{MaxAttempts: 10}.Do(nil,
+		func(err error) bool { return !errors.Is(err, perm) },
+		func() error { calls++; return perm })
+	if !errors.Is(err, perm) || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want 1/1/permanent", attempts, calls, err)
+	}
+}
+
+func TestDoNilSleepStillBoundsAttempts(t *testing.T) {
+	calls := 0
+	if _, err := (Policy{MaxAttempts: 4}).Do(nil, nil, func() error { calls++; return errors.New("x") }); err == nil {
+		t.Fatal("want error after exhausted budget")
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}

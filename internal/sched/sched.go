@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +11,13 @@ import (
 	"mummi/internal/telemetry"
 	"mummi/internal/vclock"
 )
+
+// ErrAlreadyTerminal is returned by Complete/Fail when the job has already
+// reached a terminal state — typically the benign race between the modeled
+// auto-completion timer and a manual Complete/Fail (or a node crash).
+// Callers that tolerate the race match it with errors.Is; anything else
+// escaping finish is a real error.
+var ErrAlreadyTerminal = errors.New("sched: job already terminal")
 
 // Mode selects how the queue manager (Q) and matcher (R) communicate.
 type Mode int
@@ -104,6 +112,8 @@ type Scheduler struct {
 	headBlocked  bool
 	rHeadBlocked bool
 	matching     map[JobID]bool
+	autoDone     map[JobID]vclock.EventID
+	hung         map[JobID]bool
 	running      int
 	finished     int
 	timeline     []Placement
@@ -134,6 +144,8 @@ func New(clk vclock.Clock, cfg Config) (*Scheduler, error) {
 		tel:      tel,
 		jobs:     make(map[JobID]*Job),
 		matching: make(map[JobID]bool),
+		autoDone: make(map[JobID]vclock.EventID),
+		hung:     make(map[JobID]bool),
 	}
 	if cfg.StatusPollEvery > 0 {
 		s.poll = vclock.NewTicker(clk, cfg.StatusPollEvery, func(time.Time) {
@@ -339,8 +351,13 @@ func (s *Scheduler) startLocked(job *Job, alloc cluster.Alloc) {
 	s.updateGaugesLocked()
 	if job.Req.Duration > 0 {
 		id := job.ID
-		//lint:allow errdiscipline -- auto-completion may race a manual Complete/Fail; finish is idempotent and the only error is the benign "already terminal"
-		s.clk.After(job.Req.Duration, func() { s.finish(id, Completed) })
+		s.autoDone[id] = s.clk.After(job.Req.Duration, func() {
+			// Auto-completion may race a manual Complete/Fail; that race is
+			// the one benign outcome, anything else is a real bug.
+			if err := s.finish(id, Completed); err != nil && !errors.Is(err, ErrAlreadyTerminal) {
+				s.tel.Counter("sched.autocomplete_errors_total").Inc()
+			}
+		})
 	}
 }
 
@@ -361,10 +378,15 @@ func (s *Scheduler) finish(id JobID, st State) error {
 	if job.State != Running {
 		s.mu.Unlock()
 		if job.State == Completed || job.State == Failed {
-			return nil // idempotent: auto-complete may race a manual call
+			return fmt.Errorf("sched: job %d: %w", id, ErrAlreadyTerminal)
 		}
 		return fmt.Errorf("sched: job %d is %v, not running", id, job.State)
 	}
+	if ev, ok := s.autoDone[id]; ok {
+		s.clk.Cancel(ev)
+		delete(s.autoDone, id)
+	}
+	delete(s.hung, id)
 	job.State = st
 	job.EndTime = s.clk.Now()
 	s.running--
@@ -440,6 +462,91 @@ func (s *Scheduler) Undrain(node int) {
 	s.kickQ()
 	s.kickR()
 	s.mu.Unlock()
+}
+
+// Hang makes a running job never report completion: its modeled
+// auto-completion timer is canceled while its resources stay held, exactly
+// what a wedged simulation looks like from the coordinator. Only the
+// workflow's hung-job watchdog (or a manual Fail) gets it off the machine.
+// Returns false if the job is not currently running.
+func (s *Scheduler) Hang(id JobID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.State != Running {
+		return false
+	}
+	if ev, armed := s.autoDone[id]; armed {
+		s.clk.Cancel(ev)
+		delete(s.autoDone, id)
+	}
+	s.hung[id] = true
+	s.tel.Counter("sched.hung_total").Inc()
+	return true
+}
+
+// Hung reports whether the job was hung via Hang and has not yet been
+// forced to a terminal state.
+func (s *Scheduler) Hung(id JobID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hung[id]
+}
+
+// Crash simulates a node failure: the node is drained first (so resources
+// freed by its dying jobs are not immediately re-placed onto it), then
+// every job running on the node is failed — the workflow's trackers
+// resubmit those under their attempt budgets (§4.4). Returns the killed job
+// IDs in ascending order. Revive brings the node back.
+func (s *Scheduler) Crash(node int) []JobID {
+	s.mu.Lock()
+	var victims []JobID
+	for id, job := range s.jobs {
+		if job.State != Running {
+			continue
+		}
+		for _, part := range job.Alloc.Parts {
+			if part.Node == node {
+				victims = append(victims, id)
+				break
+			}
+		}
+	}
+	// The map walk above is unordered; sorting restores determinism before
+	// any side effects happen.
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	s.machine.Drain(node)
+	s.matcher.NoteDrainChange()
+	s.tel.Counter("sched.node_crashes_total").Inc()
+	s.mu.Unlock()
+	for _, id := range victims {
+		// A victim may already be terminal if an auto-completion fired
+		// between collection and the kill; that race is benign.
+		if err := s.finish(id, Failed); err != nil && !errors.Is(err, ErrAlreadyTerminal) {
+			s.tel.Counter("sched.crash_kill_errors_total").Inc()
+		}
+	}
+	return victims
+}
+
+// Revive restores a crashed node to service and wakes the queues; it is
+// Undrain under the name the fault-injection path uses.
+func (s *Scheduler) Revive(node int) { s.Undrain(node) }
+
+// LiveJobs returns every non-terminal job id (pending or running) in
+// ascending order. The campaign's WM crash-restart uses it to clear the
+// crashed manager's job set before restoring from checkpoint.
+func (s *Scheduler) LiveJobs() []JobID {
+	s.mu.Lock()
+	ids := make([]JobID, 0, len(s.jobs))
+	for id, job := range s.jobs {
+		if job.State == Pending || job.State == Running {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Job returns a copy of the job record.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"mummi/internal/cluster"
+	"mummi/internal/telemetry"
 	"mummi/internal/vclock"
 )
 
@@ -268,9 +270,14 @@ func TestCompleteErrors(t *testing.T) {
 	if err := s.Complete(j.ID); err != nil {
 		t.Fatal(err)
 	}
-	// Idempotent for already-finished jobs (auto-complete races).
-	if err := s.Complete(j.ID); err != nil {
-		t.Errorf("second Complete = %v", err)
+	// A second finish of an already-terminal job reports the typed
+	// ErrAlreadyTerminal so callers can distinguish the benign
+	// auto-complete race from real errors.
+	if err := s.Complete(j.ID); !errors.Is(err, ErrAlreadyTerminal) {
+		t.Errorf("second Complete = %v, want ErrAlreadyTerminal", err)
+	}
+	if err := s.Fail(j.ID); !errors.Is(err, ErrAlreadyTerminal) {
+		t.Errorf("Fail after Complete = %v, want ErrAlreadyTerminal", err)
 	}
 }
 
@@ -438,6 +445,139 @@ func TestStatusPollLoadCreatesPlacementGaps(t *testing.T) {
 	// The sync gaps are minutes-scale chunks, not jitter.
 	if syncGap < time.Minute {
 		t.Errorf("sync max gap %v too small to be Fig. 6 chunking", syncGap)
+	}
+}
+
+func TestCrashKillsJobsAndDrainsNode(t *testing.T) {
+	clk, s := newSched(t, 2, FirstMatch, Async)
+	var jobs []*Job
+	for i := 0; i < 12; i++ { // fills both nodes: 6 GPU jobs each
+		j, err := s.Submit(gpuJob(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	clk.RunFor(time.Hour)
+	var onNode0 []JobID
+	for _, j := range jobs {
+		got, _ := s.Job(j.ID)
+		if got.State != Running {
+			t.Fatalf("job %d = %v before crash", j.ID, got.State)
+		}
+		if got.Alloc.Parts[0].Node == 0 {
+			onNode0 = append(onNode0, j.ID)
+		}
+	}
+	if len(onNode0) != 6 {
+		t.Fatalf("%d jobs on node 0, want 6", len(onNode0))
+	}
+
+	killed := s.Crash(0)
+	if len(killed) != len(onNode0) {
+		t.Fatalf("Crash killed %v, want %v", killed, onNode0)
+	}
+	for i, id := range killed {
+		if id != onNode0[i] {
+			t.Fatalf("Crash killed %v, want sorted %v", killed, onNode0)
+		}
+		if got, _ := s.Job(id); got.State != Failed {
+			t.Errorf("victim %d = %v, want Failed", id, got.State)
+		}
+	}
+	if s.Machine().UsedGPUs() != 6 {
+		t.Errorf("UsedGPUs = %d after crash, want 6 (survivors only)", s.Machine().UsedGPUs())
+	}
+
+	// The crashed node must accept no new placements until revived.
+	j, _ := s.Submit(gpuJob(0))
+	clk.RunFor(time.Hour)
+	if got, _ := s.Job(j.ID); got.State != Pending {
+		t.Fatalf("job placed on crashed node: %v", got.State)
+	}
+	s.Revive(0)
+	clk.RunFor(time.Hour)
+	if got, _ := s.Job(j.ID); got.State != Running {
+		t.Errorf("job after Revive = %v, want Running", got.State)
+	}
+}
+
+func TestHangSuppressesAutoCompletion(t *testing.T) {
+	clk, s := newSched(t, 1, FirstMatch, Async)
+	j, _ := s.Submit(gpuJob(time.Hour))
+	clk.RunFor(30 * time.Minute)
+	if !s.Hang(j.ID) {
+		t.Fatal("Hang of running job refused")
+	}
+	clk.RunFor(5 * time.Hour) // far past the 1h modeled duration
+	got, _ := s.Job(j.ID)
+	if got.State != Running || !s.Hung(j.ID) {
+		t.Fatalf("hung job = %v (hung=%v), want Running/true", got.State, s.Hung(j.ID))
+	}
+	if s.Machine().UsedGPUs() != 1 {
+		t.Error("hung job released its GPU")
+	}
+	// The watchdog's kill path: Fail gets it off the machine.
+	if err := s.Fail(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hung(j.ID) {
+		t.Error("job still reported hung after Fail")
+	}
+	if s.Machine().UsedGPUs() != 0 {
+		t.Error("GPU not released after failing hung job")
+	}
+	// Hang of a terminal or unknown job is refused.
+	if s.Hang(j.ID) || s.Hang(JobID(9999)) {
+		t.Error("Hang accepted a non-running job")
+	}
+}
+
+func TestAutoCompleteRacesManualFail(t *testing.T) {
+	// Under the real clock the modeled auto-completion timer genuinely
+	// races a concurrent manual Fail; whichever wins, the loser must see
+	// ErrAlreadyTerminal and nothing else (the -race gate covers this
+	// path's locking).
+	clk := vclock.NewReal()
+	m, _ := cluster.New(cluster.Summit(2))
+	tel := telemetry.Nop()
+	s, err := New(clk, Config{Machine: m, Policy: FirstMatch, Mode: Async,
+		Costs: Costs{SubmitMsg: time.Microsecond, StatusMsg: time.Microsecond,
+			VertexVisit: time.Nanosecond},
+		Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	started := make(chan JobID, n)
+	finished := make(chan JobID, n)
+	s.OnStart(func(j *Job) { started <- j.ID })
+	s.OnFinish(func(j *Job) { finished <- j.ID })
+	go func() {
+		for id := range started {
+			if err := s.Fail(id); err != nil && !errors.Is(err, ErrAlreadyTerminal) {
+				t.Errorf("manual Fail of %d: %v", id, err)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := s.Submit(Request{Name: fmt.Sprintf("r%d", i), GPUs: 1, Cores: 2,
+			Duration: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-finished:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d jobs finished", i, n)
+		}
+	}
+	if m.UsedGPUs() != 0 || m.UsedCores() != 0 {
+		t.Errorf("resources leaked: %d GPUs %d cores", m.UsedGPUs(), m.UsedCores())
+	}
+	if got := tel.Registry().Counter("sched.autocomplete_errors_total").Value(); got != 0 {
+		t.Errorf("autocomplete saw %d unexpected errors", got)
 	}
 }
 

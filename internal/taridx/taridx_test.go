@@ -15,6 +15,7 @@ import (
 
 	"mummi/internal/datastore"
 	"mummi/internal/datastore/dstest"
+	"mummi/internal/telemetry"
 )
 
 func openT(t *testing.T) (*Archive, string) {
@@ -416,6 +417,18 @@ func TestStoreConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		return s
+	})
+}
+
+// TestArmoredStoreConformance re-runs the suite through datastore.Armor:
+// the retry wrapper must be semantically invisible over a healthy backend.
+func TestArmoredStoreConformance(t *testing.T) {
+	dstest.Run(t, func(t *testing.T) datastore.Store {
+		s, err := NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return datastore.Armor(s, telemetry.Nop(), "taridx", datastore.ArmorOptions{})
 	})
 }
 

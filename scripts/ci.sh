@@ -12,7 +12,8 @@ go build ./...
 go test ./...
 go test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
 	./internal/core/... ./internal/sched/... ./internal/kvstore/... \
-	./internal/feedback/... ./internal/telemetry/...
+	./internal/feedback/... ./internal/telemetry/... \
+	./internal/faults/... ./internal/retry/... ./internal/campaign/...
 
 # Observability smoke: the example campaign must emit a loadable Chrome
 # trace and a metrics snapshot with nonzero counters for all four workflow
@@ -22,3 +23,20 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/mummi-sim campaign -scale 0.02 \
 	-trace "$tmpdir/trace.json" -metrics "$tmpdir/metrics.json"
 go run ./scripts/tracecheck "$tmpdir/trace.json" "$tmpdir/metrics.json"
+
+# Chaos smoke: a campaign with every fault class at aggressive rates must
+# complete, and two same-seed runs must be byte-identical — the fault
+# ledger on stdout and the full metrics snapshot and trace event stream.
+chaosplan='store-transient-error:0.10;store-latency-spike:0.05;store-permanent-error:0.01;node-crash:8/day;job-hang:12/day;wm-crash:2/day'
+go run ./cmd/mummi-sim campaign -scale 0.02 -seed 7 -faults "$chaosplan" \
+	-trace "$tmpdir/chaos1-trace.json" -metrics "$tmpdir/chaos1-metrics.json" >"$tmpdir/chaos1.out"
+go run ./cmd/mummi-sim campaign -scale 0.02 -seed 7 -faults "$chaosplan" \
+	-trace "$tmpdir/chaos2-trace.json" -metrics "$tmpdir/chaos2-metrics.json" >"$tmpdir/chaos2.out"
+# Drop the wall-clock line ("replayed in Nms") and the artifact-path lines
+# ("-> .../chaosN-trace.json") before comparing.
+grep -v -e 'replayed in' -e ' -> ' "$tmpdir/chaos1.out" >"$tmpdir/chaos1.cmp"
+grep -v -e 'replayed in' -e ' -> ' "$tmpdir/chaos2.out" >"$tmpdir/chaos2.cmp"
+diff "$tmpdir/chaos1.cmp" "$tmpdir/chaos2.cmp"
+diff "$tmpdir/chaos1-metrics.json" "$tmpdir/chaos2-metrics.json"
+diff "$tmpdir/chaos1-trace.json" "$tmpdir/chaos2-trace.json"
+grep -q 'wm restarts' "$tmpdir/chaos1.out"
