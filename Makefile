@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet lint trace chaos ci
+.PHONY: build test race bench bench-micro bench-diff vet lint trace chaos ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,21 @@ race:
 # campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x .
+
+# Hot-path micro-benchmarks for the three engines the profiler flagged:
+# the virtual clock's event loop, the scheduler's resource matcher, and
+# the dynamic-importance rank refresh. A/B numbers live in EXPERIMENTS.md
+# and DESIGN.md §11.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkVirtual|BenchmarkMatcher|BenchmarkFPS' \
+		-benchmem ./internal/vclock/ ./internal/sched/ ./internal/dynim/
+
+# Compare the committed perf trajectory: the pre-optimization baseline
+# reports against the post-optimization ones. Deterministic replay metrics
+# must match exactly; timing/alloc metrics are thresholded.
+bench-diff:
+	$(GO) run ./scripts/benchdiff BENCH_baseline.json BENCH_optimized.json
+	$(GO) run ./scripts/benchdiff BENCH_baseline_full.json BENCH_optimized_full.json
 
 vet:
 	$(GO) vet ./...

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -133,20 +134,41 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 		if !jsonOut {
 			fmt.Printf("== campaign replay (scale %.2f) ==\n", scale)
 		}
+		// Allocation stats bracket the replay so GC-pressure wins show up in
+		// the trajectory, not just wall-clock. A GC cycle first gives the
+		// deltas a clean epoch.
+		runtime.GC()
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		var err error
 		res, err = campaign.Run(cfg)
 		if err != nil {
 			return err
 		}
 		replayWall := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		if !jsonOut {
-			fmt.Printf("replayed %d runs, %v, in %v\n\n", res.RunsDone, res.TotalNodeHours,
-				replayWall.Round(time.Millisecond))
+			fmt.Printf("replayed %d runs, %v, in %v (%d matcher visits, %.1f MB allocated, %d GCs)\n\n",
+				res.RunsDone, res.TotalNodeHours, replayWall.Round(time.Millisecond),
+				res.MatcherVisits,
+				float64(msAfter.TotalAlloc-msBefore.TotalAlloc)/(1<<20),
+				msAfter.NumGC-msBefore.NumGC)
 		}
+		allocBytes := float64(msAfter.TotalAlloc - msBefore.TotalAlloc)
+		allocObjs := float64(msAfter.Mallocs - msBefore.Mallocs)
 		record("campaign", map[string]float64{
 			"runs_done":       float64(res.RunsDone),
 			"node_hours":      float64(res.TotalNodeHours),
+			"matcher_visits":  float64(res.MatcherVisits),
 			"replay_wall_sec": replayWall.Seconds(),
+			// alloc_* metrics are machine- and GC-schedule-dependent;
+			// bench-diff treats them like timings, never exact-matched.
+			"alloc_bytes":           allocBytes,
+			"alloc_objects":         allocObjs,
+			"alloc_bytes_per_run":   allocBytes / float64(res.RunsDone),
+			"alloc_objects_per_run": allocObjs / float64(res.RunsDone),
+			"alloc_gc_cycles":       float64(msAfter.NumGC - msBefore.NumGC),
 		})
 		if cfg.Faults != nil {
 			if !jsonOut {

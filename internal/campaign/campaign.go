@@ -505,6 +505,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	}
 	c.res.RunsDone++
 	c.res.TotalNodeHours += units.NodeHoursFor(spec.Nodes, spec.Wall)
+	c.res.MatcherVisits += s.MatcherVisits()
 
 	if keepTimeline {
 		var tl []TimelinePoint

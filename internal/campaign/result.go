@@ -36,6 +36,11 @@ type Result struct {
 	RunsDone       int             `json:"runs_done"`
 	TotalNodeHours units.NodeHours `json:"total_node_hours"`
 
+	// MatcherVisits is R's cumulative vertex-visit count across all
+	// allocations — the modeled match-cost ledger the hot-path trajectory
+	// (DESIGN.md §11) tracks alongside wall-clock.
+	MatcherVisits int64 `json:"matcher_visits"`
+
 	// §5.1 campaign counts.
 	Snapshots         int           `json:"snapshots"`
 	ContinuumTotal    units.SimTime `json:"continuum_total_fs"`

@@ -42,6 +42,13 @@ import (
 //     so the result is bit-identical to the serial path for every worker
 //     count — the determinism contract every §5 replay figure depends on.
 //
+//   - Dirty-set refresh: staleness is tracked explicitly — new arrivals
+//     join a dirty list, and a selection promotes the whole store to dirty
+//     (every rank may shrink against the new point). Update re-ranks only
+//     the invalidated candidates and sifts just their heap entries, so the
+//     feedback loop's between-selection refreshes cost O(dirty·log n)
+//     instead of an O(n) counter scan plus a full re-heapify.
+//
 //   - Lazy max-heap selection: an index heap keyed on (cached distance,
 //     ID) tracks the candidate order. A cached value is always an *upper
 //     bound* on the true rank (distances only shrink), so Select pops the
@@ -85,6 +92,18 @@ type FarthestPoint struct {
 	selGap2  []float64
 	gapSuff  []float64
 	gapSuffN int
+
+	// Dirty-set staleness tracking. Every slot whose cached rank may be
+	// stale is either listed in dirty (new arrivals and restored candidates,
+	// appended in creation order) or covered by allDirty (set after any
+	// selection, since a new selected point can tighten every rank). Update
+	// consults these instead of scanning all seenSel counters, so a refresh
+	// between selections re-ranks only the invalidated candidates and sifts
+	// just their heap entries — O(dirty·log n) instead of an O(n) sweep and
+	// full re-heapify per feedback tick.
+	dirty      []int32
+	allDirty   bool
+	scratchPos []int32 // reused position buffer for the dirty sift sweep
 
 	sel     *knn.Brute // selected coordinates, append-only
 	selPts  []Point
@@ -216,6 +235,10 @@ func (f *FarthestPoint) newSlot(p Point) {
 	f.h = append(f.h, s)
 	if !f.heapDirty {
 		f.up(len(f.h) - 1)
+	}
+	if f.sel.Len() > 0 {
+		// Unranked against a non-empty selected set: stale until refreshed.
+		f.dirty = append(f.dirty, s)
 	}
 }
 
@@ -499,14 +522,9 @@ func (f *FarthestPoint) Update() {
 // lock.
 func (f *FarthestPoint) updateLocked() {
 	n := f.sel.Len()
-	stale := false
-	for _, seen := range f.seenSel {
-		if int(seen) < n {
-			stale = true
-			break
-		}
-	}
-	if stale {
+	if f.allDirty {
+		// A selection happened since the last refresh: every rank may have
+		// shrunk, so sweep the whole store and re-heapify once.
 		var start time.Time
 		if f.tel != nil {
 			start = f.tel.Now()
@@ -525,11 +543,69 @@ func (f *FarthestPoint) updateLocked() {
 			f.tel.RecordSpan("dynim", "rank_refresh", start, f.tel.Now().Sub(start),
 				"candidates", len(f.ids))
 		}
-	}
-	if stale || f.heapDirty {
+		f.allDirty = false
+		f.dirty = f.dirty[:0]
 		f.heapInit()
 		f.heapDirty = false
+		return
 	}
+	// Dirty-set path: between selections only explicitly invalidated slots
+	// (new arrivals, restores) can be stale, so re-rank exactly those and
+	// sift each one back into place — the rest of the heap is untouched. A
+	// dirty slot may already be fresh (the lazy Select path refreshed it on
+	// the way through the root); it then costs one counter compare.
+	stale := false
+	for _, s := range f.dirty {
+		if int(f.seenSel[s]) < n {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		var start time.Time
+		if f.tel != nil {
+			start = f.tel.Now()
+		}
+		f.gapSuffix(n)
+		rows := f.sel.RowsFlat(0, n)
+		dirty := f.dirty
+		parallel.For(len(dirty), parallel.Workers(f.workers), fpsMinChunk, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if s := dirty[k]; int(f.seenSel[s]) < n {
+					f.refreshSlot(s, n, rows)
+				}
+			}
+		})
+		if f.tel != nil {
+			f.tel.Histogram("dynim.rank_refresh_ms", "ms", nil).Observe(f.tel.MsSince(start))
+			f.tel.RecordSpan("dynim", "rank_refresh", start, f.tel.Now().Sub(start),
+				"candidates", len(dirty))
+		}
+	}
+	if f.heapDirty {
+		f.heapInit()
+		f.heapDirty = false
+	} else if stale {
+		// Refreshes only lower ranks, so each dirty entry sifts toward the
+		// leaves. Dirty slots can sit on a shared root-leaf path (fresh
+		// arrivals surface near the root at +Inf), where repairing an
+		// ancestor before a descendant leaves a violation behind — so sift
+		// in descending position order, the bottom-up heapify sweep
+		// restricted to the dirty positions: a sift at position p only
+		// moves content deeper than p, so every position not yet processed
+		// still holds its slot and every subtree below a processed position
+		// stays valid.
+		pos := f.scratchPos[:0]
+		for _, s := range f.dirty {
+			pos = append(pos, f.heapPos[s])
+		}
+		sort.Slice(pos, func(i, j int) bool { return pos[i] > pos[j] })
+		for _, p := range pos {
+			f.down(int(p))
+		}
+		f.scratchPos = pos[:0]
+	}
+	f.dirty = f.dirty[:0]
 }
 
 // Select implements Selector: repeatedly surface the farthest candidate via
@@ -596,6 +672,10 @@ func (f *FarthestPoint) Select(n int) []Point {
 		f.selPts = append(f.selPts, p)
 		f.journal.record("select", id)
 		out = append(out, p)
+		// The new selection can tighten every remaining rank: promote the
+		// dirty set to the whole store.
+		f.allDirty = true
+		f.dirty = f.dirty[:0]
 	}
 	if f.tel != nil {
 		f.tel.Histogram("dynim.select_ms", "ms", nil).Observe(f.tel.MsSince(selStart))

@@ -1,0 +1,171 @@
+package dynim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleDist2 recomputes a candidate's squared distance to its nearest
+// selected point from scratch, using the same reassociated four-accumulator
+// kernel as refreshSlot so the comparison is bitwise, not approximate.
+func oracleDist2(q []float64, sel [][]float64) float64 {
+	best := math.Inf(1)
+	for _, row := range sel {
+		var a0, a1, a2, a3 float64
+		j := 0
+		for ; j+4 <= len(q); j += 4 {
+			d0 := q[j] - row[j]
+			d1 := q[j+1] - row[j+1]
+			d2 := q[j+2] - row[j+2]
+			d3 := q[j+3] - row[j+3]
+			a0 += d0 * d0
+			a1 += d1 * d1
+			a2 += d2 * d2
+			a3 += d3 * d3
+		}
+		for ; j < len(q); j++ {
+			d := q[j] - row[j]
+			a0 += d * d
+		}
+		if acc := (a0 + a1) + (a2 + a3); acc < best {
+			best = acc
+		}
+	}
+	return best
+}
+
+// oracleFPS is an executable specification of farthest-point selection: a
+// plain map of candidates, ranked from scratch on every pick by the shared
+// kernel — no caches, no heap, no dirty sets. The production engine's
+// selection sequence must match it exactly.
+type oracleFPS struct {
+	coords   map[string][]float64
+	taken    map[string]bool // queued or already selected
+	selected [][]float64
+}
+
+func newOracleFPS() *oracleFPS {
+	return &oracleFPS{coords: make(map[string][]float64), taken: make(map[string]bool)}
+}
+
+func (o *oracleFPS) add(id string, c []float64) {
+	if o.taken[id] {
+		return
+	}
+	o.taken[id] = true
+	o.coords[id] = append([]float64(nil), c...)
+}
+
+func (o *oracleFPS) selectN(n int) []string {
+	var out []string
+	for len(out) < n && len(o.coords) > 0 {
+		bestID, bestD := "", math.Inf(-1)
+		for id, c := range o.coords {
+			d := oracleDist2(c, o.selected)
+			if d > bestD || (d == bestD && id < bestID) || bestID == "" {
+				bestID, bestD = id, d
+			}
+		}
+		o.selected = append(o.selected, o.coords[bestID])
+		delete(o.coords, bestID)
+		out = append(out, bestID)
+	}
+	return out
+}
+
+// TestPropertyFPSMatchesOracle fuzzes the full engine — dirty-set refresh,
+// lazy heap, eager fallback, pruned kernels — against the from-scratch
+// oracle: every selection burst must return the identical ID sequence.
+func TestPropertyFPSMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const dim = 5 // odd, so the unrolled kernel's remainder loop runs
+		fp := NewFarthestPoint(dim, 0)
+		oracle := newOracleFPS()
+		next := 0
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // add burst, with occasional duplicate re-offers
+				for i := rng.Intn(30); i >= 0; i-- {
+					id := fmt.Sprintf("p%04d", next)
+					if rng.Intn(10) == 0 && next > 0 {
+						id = fmt.Sprintf("p%04d", rng.Intn(next))
+					} else {
+						next++
+					}
+					c := make([]float64, dim)
+					for k := range c {
+						c[k] = rng.NormFloat64()
+					}
+					if err := fp.Add(Point{ID: id, Coords: c}); err != nil {
+						t.Fatal(err)
+					}
+					oracle.add(id, c)
+				}
+			case 2: // off-path refresh must never change what gets selected
+				fp.Update()
+			case 3:
+				n := 1 + rng.Intn(4)
+				got := fp.Select(n)
+				want := oracle.selectN(n)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d op %d: got %d selections, oracle %d", seed, op, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i] {
+						t.Fatalf("seed %d op %d: selection[%d] = %s, oracle %s",
+							seed, op, i, got[i].ID, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFPSUpdatePlacementInvariant pins that the dirty-set refresh is
+// behavior-neutral: running the same capped Add/Select scenario with extra
+// Update calls injected at arbitrary points must produce an identical
+// journal (selections AND evictions) — refresh timing can change how much
+// work happens, never what is chosen.
+func TestFPSUpdatePlacementInvariant(t *testing.T) {
+	run := func(seed int64, updateMask int64) []Event {
+		rng := rand.New(rand.NewSource(seed))
+		fp := NewFarthestPoint(3, 64) // small cap: evictions fire constantly
+		next := 0
+		for op := 0; op < 50; op++ {
+			if updateMask&(1<<uint(op%63)) != 0 {
+				fp.Update()
+			}
+			switch rng.Intn(3) {
+			case 0, 1:
+				for i := rng.Intn(25); i >= 0; i-- {
+					fp.Add(Point{
+						ID:     fmt.Sprintf("p%04d", next),
+						Coords: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+					})
+					next++
+				}
+			case 2:
+				fp.Select(1 + rng.Intn(3))
+			}
+		}
+		return fp.History()
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		base := run(seed, 0)
+		for _, mask := range []int64{^int64(0), 0x5555555555555555, 1 << 7} {
+			got := run(seed, mask)
+			if len(got) != len(base) {
+				t.Fatalf("seed %d mask %x: journal length %d vs %d", seed, mask, len(got), len(base))
+			}
+			for i := range got {
+				if got[i].Kind != base[i].Kind || got[i].ID != base[i].ID {
+					t.Fatalf("seed %d mask %x: journal[%d] = %s %s, want %s %s",
+						seed, mask, i, got[i].Kind, got[i].ID, base[i].Kind, base[i].ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"mummi/internal/cluster"
+)
+
+// benchMachine builds a Summit-shaped machine with every node carrying a
+// partial load, so matches have to look past busy nodes.
+func benchMachine(b *testing.B, nodes int) *cluster.Machine {
+	b.Helper()
+	m, err := cluster.New(cluster.Summit(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkMatcherFirstMatchDeepQueue models a deep dispatch queue on a
+// large cluster: fill the machine nearly full, then alternate release and
+// re-match so every placement scans past the packed prefix.
+func BenchmarkMatcherFirstMatchDeepQueue(b *testing.B) {
+	const nodes = 4608 // full Summit
+	m := benchMachine(b, nodes)
+	mt := NewMatcher(m, FirstMatch)
+	req := Request{Name: "cg-sim", NodeCount: 1, Cores: 6, GPUs: 1}
+	var allocs []cluster.Alloc
+	for {
+		a, _, ok := mt.Match(req)
+		if !ok {
+			break
+		}
+		allocs = append(allocs, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Free a slot deep in the machine, then place into it.
+		victim := allocs[(i*2654435761)%len(allocs)]
+		m.Release(victim)
+		mt.NoteRelease(victim)
+		a, _, ok := mt.Match(req)
+		if !ok {
+			b.Fatal("match failed with a freed slot available")
+		}
+		allocs[(i*2654435761)%len(allocs)] = a
+	}
+}
+
+// BenchmarkMatcherExhaustiveLargeCluster measures the modeled full-graph
+// matcher on a large cluster; the visit charge is constant but the feasible
+// scan used to walk every node.
+func BenchmarkMatcherExhaustiveLargeCluster(b *testing.B) {
+	const nodes = 4608
+	m := benchMachine(b, nodes)
+	mt := NewMatcher(m, LowIDExhaustive)
+	req := Request{Name: "cg-sim", NodeCount: 1, Cores: 6, GPUs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _, ok := mt.Match(req)
+		if !ok {
+			b.Fatal("match failed on non-full machine")
+		}
+		m.Release(a)
+		mt.NoteRelease(a)
+	}
+}
+
+// BenchmarkMatcherMixedShapes exercises the per-shape bitmap maintenance
+// cost: several request shapes churn against the same machine.
+func BenchmarkMatcherMixedShapes(b *testing.B) {
+	const nodes = 1024
+	m := benchMachine(b, nodes)
+	mt := NewMatcher(m, FirstMatch)
+	shapes := []Request{
+		{Name: "cg-sim", NodeCount: 1, Cores: 6, GPUs: 1},
+		{Name: "analysis", NodeCount: 1, Cores: 4},
+		{Name: "createsim", NodeCount: 1, Cores: 22, GPUs: 1},
+		{Name: "ml", NodeCount: 2, Cores: 8, GPUs: 2},
+	}
+	var live []cluster.Alloc
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 3000 {
+			victim := live[(i*40503)%len(live)]
+			m.Release(victim)
+			mt.NoteRelease(victim)
+			live[(i*40503)%len(live)] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		a, _, ok := mt.Match(shapes[i%len(shapes)])
+		if ok {
+			live = append(live, a)
+		}
+	}
+}

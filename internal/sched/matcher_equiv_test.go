@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mummi/internal/cluster"
+)
+
+// refMatcher is an executable specification of Matcher: the pre-index
+// linear node sweep, kept verbatim as the oracle the bitmap-indexed matcher
+// is fuzzed against. It runs on its own identical Machine so both engines
+// see the same state evolution; any divergence in chosen nodes, visit
+// counts, success, or cursor motion is an equivalence bug in the index.
+type refMatcher struct {
+	m      *cluster.Machine
+	policy Policy
+	visits int64
+
+	gpuCursor int
+	cpuCursor int
+}
+
+func (mt *refMatcher) Match(req Request) (cluster.Alloc, int64, bool) {
+	req = req.normalize()
+	before := mt.visits
+	var nodes []int
+	var ok bool
+	if mt.policy == LowIDExhaustive {
+		nodes, ok = mt.matchExhaustive(req)
+	} else {
+		nodes, ok = mt.matchFirst(req)
+	}
+	if !ok {
+		return cluster.Alloc{}, mt.visits - before, false
+	}
+	alloc := cluster.Alloc{}
+	for _, n := range nodes {
+		part, err := mt.m.Reserve(n, req.Cores, req.GPUs)
+		if err != nil {
+			mt.m.Release(alloc)
+			return cluster.Alloc{}, mt.visits - before, false
+		}
+		alloc.Parts = append(alloc.Parts, part)
+	}
+	return alloc, mt.visits - before, true
+}
+
+func (mt *refMatcher) matchExhaustive(req Request) ([]int, bool) {
+	perNode := int64(mt.m.Topology().VerticesPerNode())
+	var chosen []int
+	for i := 0; i < mt.m.NumNodes(); i++ {
+		mt.visits += perNode
+		if len(chosen) < req.NodeCount && mt.m.NodeFits(i, req.Cores, req.GPUs) {
+			chosen = append(chosen, i)
+		}
+	}
+	if len(chosen) < req.NodeCount {
+		return nil, false
+	}
+	return chosen, true
+}
+
+func (mt *refMatcher) matchFirst(req Request) ([]int, bool) {
+	perNode := int64(mt.m.Topology().VerticesPerNode())
+	cursor := &mt.cpuCursor
+	if req.GPUs > 0 {
+		cursor = &mt.gpuCursor
+	}
+	var chosen []int
+	advanced := *cursor
+	for i := *cursor; i < mt.m.NumNodes(); i++ {
+		mt.visits++
+		n := mt.m.Node(i)
+		classEmpty := (req.GPUs > 0 && n.FreeGPUs() == 0) || (req.GPUs == 0 && n.FreeCores() == 0)
+		if classEmpty && i == advanced && len(chosen) == 0 {
+			advanced = i + 1
+		}
+		if mt.m.NodeFits(i, req.Cores, req.GPUs) {
+			chosen = append(chosen, i)
+			mt.visits += perNode - 1
+			if len(chosen) == req.NodeCount {
+				*cursor = advanced
+				return chosen, true
+			}
+		}
+	}
+	*cursor = advanced
+	return nil, false
+}
+
+func (mt *refMatcher) NoteRelease(a cluster.Alloc) {
+	for _, p := range a.Parts {
+		if p.Node < mt.gpuCursor {
+			mt.gpuCursor = p.Node
+		}
+		if p.Node < mt.cpuCursor {
+			mt.cpuCursor = p.Node
+		}
+	}
+}
+
+func (mt *refMatcher) NoteDrainChange() {
+	mt.gpuCursor, mt.cpuCursor = 0, 0
+}
+
+// fuzzMatcherEquivalence drives the optimized and reference matchers through
+// an identical randomized sequence of matches, releases, and drain flips —
+// the full mutation surface the scheduler exposes — and demands identical
+// placements, visits, and cursors at every step.
+func fuzzMatcherEquivalence(t *testing.T, policy Policy, nodes int, seed int64) {
+	t.Helper()
+	topo := cluster.Summit(nodes)
+	mOpt, err := cluster.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRef, err := cluster.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewMatcher(mOpt, policy)
+	ref := &refMatcher{m: mRef, policy: policy}
+
+	// The campaign's real shape pool: CG sims, createsims, analysis,
+	// backmap, ML inference — a handful of shapes, reused constantly.
+	shapes := []Request{
+		{Name: "cg-sim", NodeCount: 1, Cores: 6, GPUs: 1},
+		{Name: "createsim", NodeCount: 1, Cores: 22, GPUs: 1},
+		{Name: "analysis", NodeCount: 1, Cores: 4},
+		{Name: "backmap", NodeCount: 1, Cores: 11, GPUs: 1},
+		{Name: "ml", NodeCount: 2, Cores: 8, GPUs: 2},
+		{Name: "wide", NodeCount: 4, Cores: 40},
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var liveOpt, liveRef []cluster.Alloc
+	for step := 0; step < 600; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // match
+			req := shapes[rng.Intn(len(shapes))]
+			aOpt, vOpt, okOpt := opt.Match(req)
+			aRef, vRef, okRef := ref.Match(req)
+			if okOpt != okRef || vOpt != vRef {
+				t.Fatalf("seed %d step %d %s: (ok,visits) optimized (%v,%d) reference (%v,%d)",
+					seed, step, req.Name, okOpt, vOpt, okRef, vRef)
+			}
+			if fmt.Sprint(aOpt) != fmt.Sprint(aRef) {
+				t.Fatalf("seed %d step %d %s: alloc diverged\n optimized %v\n reference %v",
+					seed, step, req.Name, aOpt, aRef)
+			}
+			if okOpt {
+				liveOpt = append(liveOpt, aOpt)
+				liveRef = append(liveRef, aRef)
+			}
+		case op < 9: // release a random live alloc
+			if len(liveOpt) == 0 {
+				continue
+			}
+			i := rng.Intn(len(liveOpt))
+			mOpt.Release(liveOpt[i])
+			opt.NoteRelease(liveOpt[i])
+			mRef.Release(liveRef[i])
+			ref.NoteRelease(liveRef[i])
+			liveOpt = append(liveOpt[:i], liveOpt[i+1:]...)
+			liveRef = append(liveRef[:i], liveRef[i+1:]...)
+		default: // chaos: flip a node's drain state
+			n := rng.Intn(nodes)
+			if mOpt.Node(n).Drained {
+				mOpt.Undrain(n)
+				mRef.Undrain(n)
+			} else {
+				mOpt.Drain(n)
+				mRef.Drain(n)
+			}
+			opt.NoteDrainChange()
+			ref.NoteDrainChange()
+		}
+		if opt.gpuCursor != ref.gpuCursor || opt.cpuCursor != ref.cpuCursor {
+			t.Fatalf("seed %d step %d: cursors diverged: optimized (%d,%d) reference (%d,%d)",
+				seed, step, opt.gpuCursor, opt.cpuCursor, ref.gpuCursor, ref.cpuCursor)
+		}
+		if opt.Visits() != ref.visits {
+			t.Fatalf("seed %d step %d: cumulative visits diverged: %d vs %d",
+				seed, step, opt.Visits(), ref.visits)
+		}
+	}
+}
+
+// TestMatcherFirstMatchEquivalence fuzzes the bitmap-indexed first-match
+// path against the linear-sweep oracle, drain flips included.
+func TestMatcherFirstMatchEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		fuzzMatcherEquivalence(t, FirstMatch, 64, seed)
+	}
+}
+
+// TestMatcherExhaustiveEquivalence fuzzes the exhaustive path the same way:
+// the full-graph visit charge and lowest-ID placement must be preserved.
+func TestMatcherExhaustiveEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		fuzzMatcherEquivalence(t, LowIDExhaustive, 48, seed)
+	}
+}
+
+// TestMatcherEquivalenceLargeCluster runs one long first-match fuzz on a
+// Summit-scale node count, where bitmap scans cover many words.
+func TestMatcherEquivalenceLargeCluster(t *testing.T) {
+	fuzzMatcherEquivalence(t, FirstMatch, 1200, 7)
+}

@@ -15,6 +15,14 @@ go test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
 	./internal/feedback/... ./internal/telemetry/... \
 	./internal/faults/... ./internal/retry/... ./internal/campaign/...
 
+# Bench-diff gate: the committed perf-trajectory reports (BENCH_*.json)
+# must stay coherent — deterministic replay metrics identical between the
+# pre- and post-optimization reports, timing/alloc metrics within the
+# generous regression threshold. The reports are committed artifacts, so
+# this is deterministic in CI (no benchmark is re-run here).
+go run ./scripts/benchdiff BENCH_baseline.json BENCH_optimized.json
+go run ./scripts/benchdiff BENCH_baseline_full.json BENCH_optimized_full.json
+
 # Observability smoke: the example campaign must emit a loadable Chrome
 # trace and a metrics snapshot with nonzero counters for all four workflow
 # tasks (tracecheck fails on empty or unparsable artifacts).
