@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-diff vet lint trace chaos ci
+.PHONY: build test race bench bench-micro bench-diff kvbench vet lint trace chaos ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ bench-micro:
 bench-diff:
 	$(GO) run ./scripts/benchdiff BENCH_baseline.json BENCH_optimized.json
 	$(GO) run ./scripts/benchdiff BENCH_baseline_full.json BENCH_optimized_full.json
+
+# Regenerate the kvstore feedback-path trajectory: the single-connection
+# baseline vs. the pipelined cluster client, both at the modeled 100µs
+# cluster-interconnect RTT (see cmd/kvstore-bench and docs/KVSTORE.md),
+# then enforce the pipelined speedup floor on the fresh pair.
+kvbench:
+	$(GO) run ./cmd/kvstore-bench -mode baseline  -rtt 100us -out BENCH_kvstore_baseline.json
+	$(GO) run ./cmd/kvstore-bench -mode pipelined -rtt 100us -out BENCH_kvstore_optimized.json
+	$(GO) run ./cmd/kvstore-bench -mode compare \
+		-compare BENCH_kvstore_baseline.json,BENCH_kvstore_optimized.json -min-speedup 10
 
 vet:
 	$(GO) vet ./...

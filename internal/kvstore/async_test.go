@@ -1,0 +1,133 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func startAsync(t *testing.T, opts ClientOptions) (*Server, *AsyncClient) {
+	t.Helper()
+	s := NewServer(nil)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	a, err := DialAsync(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return s, a
+}
+
+func TestAsyncClientBasic(t *testing.T) {
+	_, a := startAsync(t, ClientOptions{})
+	rep, err := a.Do("k", []byte("SET"), []byte("k"), []byte("v"))
+	if err != nil || rep.kind != '+' {
+		t.Fatalf("SET = %v, %v", rep, err)
+	}
+	rep, err = a.Do("k", []byte("GET"), []byte("k"))
+	if err != nil || string(rep.bulk) != "v" {
+		t.Fatalf("GET = %q, %v", rep.bulk, err)
+	}
+}
+
+func TestAsyncClientConcurrent(t *testing.T) {
+	const workers, ops = 8, 200
+	s, a := startAsync(t, ClientOptions{PoolSize: 3, Window: 32})
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				v := []byte(fmt.Sprintf("v%d-%d", w, i))
+				if _, err := a.Do(k, []byte("SET"), []byte(k), v); err != nil {
+					errs[w] = err
+					return
+				}
+				rep, err := a.Do(k, []byte("GET"), []byte(k))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if string(rep.bulk) != string(v) {
+					errs[w] = fmt.Errorf("got %q want %q", rep.bulk, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if n := s.Engine().Size(); n != workers*ops {
+		t.Errorf("engine holds %d keys, want %d", n, workers*ops)
+	}
+}
+
+// TestAsyncClientPerKeyOrder hammers single keys with sequential writes from
+// their owning goroutines; the final value must be the last write, which
+// only holds if per-key submission order survives the pool and pipelining.
+func TestAsyncClientPerKeyOrder(t *testing.T) {
+	const keys, writes = 16, 100
+	_, a := startAsync(t, ClientOptions{PoolSize: 4, Window: 16})
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", k)
+			for i := 0; i <= writes; i++ {
+				a.Do(key, []byte("SET"), []byte(key), []byte(fmt.Sprintf("%d", i))) //lint:allow errdiscipline -- final read asserts the outcome
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		rep, err := a.Do(key, []byte("GET"), []byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rep.bulk) != fmt.Sprintf("%d", writes) {
+			t.Errorf("%s = %q, want %d", key, rep.bulk, writes)
+		}
+	}
+}
+
+func TestAsyncClientServerGone(t *testing.T) {
+	s, a := startAsync(t, ClientOptions{PoolSize: 2})
+	if _, err := a.Do("k", []byte("PING")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Every pipe must eventually fail submissions instead of hanging.
+	for p := 0; p < 4; p++ {
+		if _, err := a.Do(fmt.Sprintf("k%d", p), []byte("PING")); err == nil {
+			// The first command after the close may still have been buffered
+			// through; retry until the broken pipe surfaces.
+			continue
+		}
+		return
+	}
+	t.Fatal("no error after server close")
+}
+
+func TestAsyncClientClosedFailsFast(t *testing.T) {
+	_, a := startAsync(t, ClientOptions{})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Do("k", []byte("PING")); !errors.Is(err, errClientClosed) {
+		t.Fatalf("Do after Close = %v, want errClientClosed", err)
+	}
+}

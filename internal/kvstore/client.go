@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,28 +15,36 @@ import (
 // Client is a synchronous connection to one server with explicit pipelining
 // support. All methods are safe for concurrent use (serialized internally);
 // for throughput-critical paths, use the Pipeline methods to batch round
-// trips, as the paper's feedback loop batches its Redis queries.
+// trips, as the paper's feedback loop batches its Redis queries — or the
+// AsyncClient, which pipelines concurrent callers automatically.
 type Client struct {
 	mu      sync.Mutex
 	addr    string
 	conn    net.Conn
 	r       *bufio.Reader
 	w       *bufio.Writer
-	policy  retry.Policy
+	opts    ClientOptions
 	retries uint64
 }
 
-// Dial connects to a server with the default reconnect policy (see
-// retry.Policy: 4 attempts, 100ms base backoff).
+// Dial connects to a server with default options (5s dial timeout, no
+// read/write deadlines, default reconnect policy: 4 attempts, 100ms base
+// backoff).
 func Dial(addr string) (*Client, error) {
-	return DialPolicy(addr, retry.Policy{})
+	return DialOptions(addr, ClientOptions{})
 }
 
 // DialPolicy connects with an explicit reconnect-retry policy. The initial
 // dial is never retried — a wrong address should fail fast; the policy
 // governs the transparent reconnects inside do.
 func DialPolicy(addr string, p retry.Policy) (*Client, error) {
-	c := &Client{addr: addr, policy: p}
+	return DialOptions(addr, ClientOptions{Retry: p})
+}
+
+// DialOptions connects with explicit client options (timeouts, reconnect
+// policy). The zero ClientOptions reproduces Dial exactly.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
 	if err := c.reconnect(); err != nil {
 		return nil, err
 	}
@@ -51,13 +60,35 @@ func (c *Client) Retries() uint64 {
 }
 
 func (c *Client) reconnect() error {
-	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
 	}
+	tuneConn(conn)
+	if c.opts.WrapConn != nil {
+		conn = c.opts.WrapConn(conn)
+	}
 	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 64*1024)
-	c.w = bufio.NewWriterSize(conn, 64*1024)
+	c.r = bufio.NewReaderSize(conn, ioBufSize)
+	c.w = bufio.NewWriterSize(conn, ioBufSize)
+	return nil
+}
+
+// deadlines applies the configured read/write deadlines ahead of one
+// round trip; zero timeouts leave the connection unbounded (the default).
+func (c *Client) deadlines() error {
+	if c.opts.WriteTimeout > 0 {
+		//lint:allow determinism -- wall-clock socket deadline, invisible to replay state
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	if c.opts.ReadTimeout > 0 {
+		//lint:allow determinism -- wall-clock socket deadline, invisible to replay state
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -72,7 +103,7 @@ func (c *Client) do(args ...[]byte) (*reply, error) {
 	defer c.mu.Unlock()
 	var rep *reply
 	first := true
-	_, err := c.policy.Do(time.Sleep,
+	_, err := c.opts.Retry.Do(time.Sleep,
 		func(error) bool { return c.conn != nil },
 		func() error {
 			if !first {
@@ -91,7 +122,10 @@ func (c *Client) do(args ...[]byte) (*reply, error) {
 
 func (c *Client) doLocked(args ...[]byte) (*reply, error) {
 	if c.conn == nil {
-		return nil, errors.New("kvstore: client closed")
+		return nil, errClientClosed
+	}
+	if err := c.deadlines(); err != nil {
+		return nil, err
 	}
 	if err := writeCommand(c.w, args...); err != nil {
 		return nil, err
@@ -216,24 +250,33 @@ func (c *Client) FlushAll() error {
 	return err
 }
 
-// PipelineSet sends many SETs in one batch, reading all replies at the end.
+// PipelineSet sends many SETs in one batch, reading all replies at the
+// end. Keys are written in sorted order so that same-seed runs produce
+// byte-identical server op sequences — map iteration order must never
+// reach the wire (determinism lint enforces this package-wide).
 func (c *Client) PipelineSet(kv map[string][]byte) error {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
-		return errors.New("kvstore: client closed")
+		return errClientClosed
 	}
-	n := 0
-	for k, v := range kv {
-		if err := writeCommand(c.w, []byte("SET"), []byte(k), v); err != nil {
+	if err := c.deadlines(); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := writeCommand(c.w, []byte("SET"), []byte(k), kv[k]); err != nil {
 			return err
 		}
-		n++
 	}
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
+	for range keys {
 		if _, err := readReply(c.r); err != nil {
 			return err
 		}
@@ -241,12 +284,15 @@ func (c *Client) PipelineSet(kv map[string][]byte) error {
 	return nil
 }
 
-// PipelineDel deletes many keys in one batch.
+// PipelineDel deletes many keys in one batch, in the order given.
 func (c *Client) PipelineDel(keys []string) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
-		return 0, errors.New("kvstore: client closed")
+		return 0, errClientClosed
+	}
+	if err := c.deadlines(); err != nil {
+		return 0, err
 	}
 	for _, k := range keys {
 		if err := writeCommand(c.w, []byte("DEL"), []byte(k)); err != nil {
@@ -273,7 +319,10 @@ func (c *Client) PipelineRename(pairs [][2]string) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
-		return 0, errors.New("kvstore: client closed")
+		return 0, errClientClosed
+	}
+	if err := c.deadlines(); err != nil {
+		return 0, err
 	}
 	for _, p := range pairs {
 		if err := writeCommand(c.w, []byte("RENAME"), []byte(p[0]), []byte(p[1])); err != nil {

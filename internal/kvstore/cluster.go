@@ -3,392 +3,546 @@ package kvstore
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
-	"mummi/internal/datastore"
+	"mummi/internal/parallel"
 )
 
 // Cluster is the client side of a multi-node deployment: the paper ran a
 // cluster of 20 Redis servers with compute nodes "allocated randomly" to
-// them. Keys are placed by stable hashing so that every client agrees on
-// which node owns a key without coordination; scans and flushes fan out to
-// all nodes.
+// them. Keys are placed on shards by a consistent-hash ring (stable under
+// topology change, allocation-free per lookup); each shard is a primary
+// with an optional replica, reached through a pipelined AsyncClient; and
+// scatter operations (Keys/MGet/MSet/Del/Size/FlushAll) fan out to all
+// shards in parallel with a deterministic shard-order merge.
+//
+// Failover is client-side: when a shard's node stops answering, the
+// cluster flips to the shard's other node, redials, and retries under the
+// configured retry policy. Together with the primary's synchronous
+// write-forwarding (Server.SetReplica) this gives at-least-once semantics
+// across a primary kill: every acknowledged write survives on the replica,
+// and a retried batch may re-apply operations that were in flight — which
+// is why Rename-class retries treat "no such key" on a key that already
+// reached its destination as success (see Store.MoveBatch).
 type Cluster struct {
-	mu      sync.Mutex
-	addrs   []string
-	clients []*Client
+	opts      ClientOptions
+	ring      *Ring
+	shards    []*shardConn
+	failovers atomic.Int64
 }
 
-// DialCluster connects to every node of the cluster.
+// Shard names one shard's nodes. An empty Replica runs the shard
+// unreplicated.
+type Shard struct {
+	Primary string
+	Replica string
+}
+
+// shardConn is one shard's connection state: which node is currently
+// authoritative and the pipelined client talking to it. gen counts
+// recoveries so concurrent failures trigger one failover, not a stampede.
+type shardConn struct {
+	mu     sync.Mutex
+	addrs  [2]string // [0] primary, [1] replica ("" if none)
+	active int
+	gen    uint64
+	cl     *AsyncClient
+}
+
+// DialCluster connects to every node of an unreplicated cluster with
+// default options (one shard per address).
 func DialCluster(addrs []string) (*Cluster, error) {
-	if len(addrs) == 0 {
+	return DialClusterOptions(addrs, ClientOptions{})
+}
+
+// DialClusterOptions is DialCluster with explicit client options.
+func DialClusterOptions(addrs []string, opts ClientOptions) (*Cluster, error) {
+	shards := make([]Shard, len(addrs))
+	for i, a := range addrs {
+		shards[i] = Shard{Primary: a}
+	}
+	return DialShards(shards, opts)
+}
+
+// DialShards connects to a replicated cluster: one pipelined client per
+// shard, initially against each shard's primary. Shard order is part of
+// the placement function (ring identity is positional), so every client
+// of a deployment must use the same shard list order.
+func DialShards(shards []Shard, opts ClientOptions) (*Cluster, error) {
+	if len(shards) == 0 {
 		return nil, errors.New("kvstore: empty cluster")
 	}
-	c := &Cluster{addrs: append([]string(nil), addrs...)}
-	for _, a := range addrs {
-		cl, err := Dial(a)
+	opts = opts.withDefaults()
+	c := &Cluster{opts: opts, ring: NewRing(len(shards), opts.VNodes)}
+	for _, sh := range shards {
+		cl, err := DialAsync(sh.Primary, opts)
 		if err != nil {
-			return nil, errors.Join(err, c.Close())
+			return nil, errors.Join(fmt.Errorf("kvstore: shard %s: %w", sh.Primary, err), c.Close())
 		}
-		c.clients = append(c.clients, cl)
+		c.shards = append(c.shards, &shardConn{addrs: [2]string{sh.Primary, sh.Replica}, cl: cl})
 	}
 	return c, nil
 }
 
-// Nodes returns the cluster size.
-func (c *Cluster) Nodes() int { return len(c.clients) }
+// Nodes returns the number of shards.
+func (c *Cluster) Nodes() int { return len(c.shards) }
 
-func (c *Cluster) node(key string) *Client {
-	h := fnv.New32a()
-	h.Write([]byte(key)) //lint:allow errdiscipline -- hash.Hash.Write never returns an error by contract
-	return c.clients[int(h.Sum32())%len(c.clients)]
+// Failovers reports how many times any shard switched nodes (promotion to
+// replica or redial of the same node after a drop).
+func (c *Cluster) Failovers() int64 { return c.failovers.Load() }
+
+// shardFor returns the shard owning a placement key.
+func (c *Cluster) shardFor(key string) *shardConn { return c.shards[c.ring.Lookup(key)] }
+
+// client returns the shard's current pipelined client and its generation.
+func (s *shardConn) client() (*AsyncClient, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl, s.gen
 }
 
-// Set stores value under key on its owning node.
-func (c *Cluster) Set(key string, value []byte) error { return c.node(key).Set(key, value) }
-
-// Get fetches key from its owning node.
-func (c *Cluster) Get(key string) ([]byte, error) { return c.node(key).Get(key) }
-
-// Del removes keys (grouped per owning node), returning how many existed.
-func (c *Cluster) Del(keys ...string) (int, error) {
-	groups := c.group(keys)
-	total := 0
-	for i, ks := range groups {
-		if len(ks) == 0 {
-			continue
-		}
-		n, err := c.clients[i].PipelineDel(ks)
-		total += n
-		if err != nil {
-			return total, err
-		}
+// recover replaces a failed client observed at generation gen: if another
+// caller already recovered (gen advanced), the fresh client is returned
+// as-is; otherwise the shard flips to its other node (when one exists)
+// and redials. The caller retries against whatever comes back.
+func (s *shardConn) recover(c *Cluster, gen uint64) (*AsyncClient, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != gen {
+		return s.cl, s.gen, nil
 	}
-	return total, nil
-}
-
-// Rename moves src to dst. Because hashing may place dst on a different
-// node, rename degrades to get+set+del across nodes when needed.
-func (c *Cluster) Rename(src, dst string) error {
-	sn, dn := c.node(src), c.node(dst)
-	if sn == dn {
-		return sn.Rename(src, dst)
+	old := s.cl
+	if s.addrs[1] != "" {
+		s.active = 1 - s.active
 	}
-	v, err := sn.Get(src)
+	cl, err := DialAsync(s.addrs[s.active], c.opts)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
-	if err := dn.Set(dst, v); err != nil {
-		return err
+	s.cl = cl
+	s.gen++
+	c.failovers.Add(1)
+	if old != nil {
+		old.Close() //lint:allow errdiscipline -- the old client is already broken; recovery replaces it wholesale
 	}
-	_, err = sn.Del(src)
-	return err
+	return s.cl, s.gen, nil
 }
 
-// Keys scans every node for the pattern and merges the results, sorted.
-func (c *Cluster) Keys(pattern string) ([]string, error) {
-	var all []string
-	for _, cl := range c.clients {
-		ks, err := cl.Keys(pattern)
+// do sends one command to the shard owning placement (which also pins the
+// pool connection, preserving per-key order), retrying through failover
+// under the cluster's retry policy. Only transport errors trigger
+// recovery; semantic errors arrive inside a reply and are returned as-is.
+func (c *Cluster) do(placement string, args ...[]byte) (*reply, error) {
+	return c.doOnShard(c.ring.Lookup(placement), placement, args...)
+}
+
+// doOnShard is do for an explicit shard index (scatter operations are not
+// placed by key). Every failed attempt recovers the shard connection —
+// failing over to the other node when one exists — before retrying.
+func (c *Cluster) doOnShard(i int, placement string, args ...[]byte) (*reply, error) {
+	sc := c.shards[i]
+	cl, gen := sc.client()
+	var rep *reply
+	first := true
+	_, err := c.opts.Retry.Do(time.Sleep, nil, func() error {
+		if !first {
+			var rerr error
+			if cl, gen, rerr = sc.recover(c, gen); rerr != nil {
+				return rerr
+			}
+		}
+		first = false
+		var derr error
+		rep, derr = cl.Do(placement, args...)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// doBatch pipelines many commands onto one shard and waits for all
+// replies. On any transport error the whole batch is retried (after
+// recovery) — at-least-once, per the cluster contract.
+func (sc *shardConn) doBatch(c *Cluster, placements []string, cmds [][][]byte) ([]*reply, error) {
+	cl, gen := sc.client()
+	var reps []*reply
+	first := true
+	_, err := c.opts.Retry.Do(time.Sleep, nil, func() error {
+		if !first {
+			var rerr error
+			if cl, gen, rerr = sc.recover(c, gen); rerr != nil {
+				return rerr
+			}
+		}
+		first = false
+		var berr error
+		reps, berr = submitAll(cl, placements, cmds)
+		return berr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
+// submitAll enqueues every command before waiting on any reply — the
+// client-side half of pipelining: one burst out, one burst back.
+func submitAll(cl *AsyncClient, placements []string, cmds [][][]byte) ([]*reply, error) {
+	calls := make([]*call, len(cmds))
+	for i, args := range cmds {
+		ca, err := cl.submit(placements[i], args...)
 		if err != nil {
 			return nil, err
 		}
+		calls[i] = ca
+	}
+	reps := make([]*reply, len(calls))
+	var firstErr error
+	for i, ca := range calls {
+		rep, err := ca.wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		reps[i] = rep
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return reps, nil
+}
+
+// fanout runs fn once per shard, in parallel over the cluster's worker
+// pool, and joins the per-shard errors in shard order — the deterministic
+// merge every scatter operation builds on.
+func (c *Cluster) fanout(fn func(shard int) error) error {
+	errs := make([]error, len(c.shards))
+	parallel.For(len(c.shards), parallel.Workers(c.opts.FanoutWorkers), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = fn(i)
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// group splits keys into per-shard lists, preserving input order within
+// each shard.
+func (c *Cluster) group(keys []string) [][]string {
+	groups := make([][]string, len(c.shards))
+	for _, k := range keys {
+		i := c.ring.Lookup(k)
+		groups[i] = append(groups[i], k)
+	}
+	return groups
+}
+
+// Set stores value under key on its owning shard.
+func (c *Cluster) Set(key string, value []byte) error {
+	rep, err := c.do(key, []byte("SET"), []byte(key), value)
+	if err != nil {
+		return err
+	}
+	if rep.kind == '-' {
+		return errors.New(rep.str)
+	}
+	return nil
+}
+
+// Get fetches key from its owning shard; missing keys return ErrNoSuchKey.
+func (c *Cluster) Get(key string) ([]byte, error) {
+	rep, err := c.do(key, []byte("GET"), []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if rep.kind != '$' {
+		return nil, errProtocol
+	}
+	if rep.bulk == nil {
+		return nil, ErrNoSuchKey
+	}
+	return rep.bulk, nil
+}
+
+// Del removes keys (grouped per owning shard, deleted in parallel),
+// returning how many existed.
+func (c *Cluster) Del(keys ...string) (int, error) {
+	groups := c.group(keys)
+	counts := make([]int, len(groups))
+	err := c.fanout(func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		cmds := make([][][]byte, len(groups[i]))
+		for j, k := range groups[i] {
+			cmds[j] = [][]byte{[]byte("DEL"), []byte(k)}
+		}
+		reps, err := c.shards[i].doBatch(c, groups[i], cmds)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			counts[i] += int(rep.n)
+		}
+		return nil
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// RenameError is the typed failure of a cross-shard Rename. Cross-shard
+// renames are copy-then-delete and therefore at-least-once, never atomic:
+// on failure, Surviving names the key whose copy is known to hold the
+// value, and Duplicated reports whether a second (stale) copy may also
+// remain at Src. Callers that need exactly-once must delete the survivor
+// themselves after acting on it.
+type RenameError struct {
+	Src, Dst   string
+	Surviving  string
+	Duplicated bool
+	Err        error
+}
+
+// Error implements error.
+func (e *RenameError) Error() string {
+	state := "value survives at " + e.Surviving
+	if e.Duplicated {
+		state += " (stale copy may remain at " + e.Src + ")"
+	}
+	return fmt.Sprintf("kvstore: rename %s -> %s: %s: %v", e.Src, e.Dst, state, e.Err)
+}
+
+// Unwrap exposes the underlying transport or reply error.
+func (e *RenameError) Unwrap() error { return e.Err }
+
+// Rename moves src to dst. On one shard it is the server's atomic RENAME;
+// across shards it degrades to copy-then-delete: the value is written to
+// dst before src is deleted, so the value is never lost — but a failure
+// between the two steps leaves both copies alive. The returned
+// *RenameError names the surviving copy.
+func (c *Cluster) Rename(src, dst string) error {
+	ss, ds := c.shardFor(src), c.shardFor(dst)
+	if ss == ds {
+		rep, err := c.do(src, []byte("RENAME"), []byte(src), []byte(dst))
+		if err != nil {
+			return err
+		}
+		if rep.kind == '-' {
+			return ErrNoSuchKey
+		}
+		return nil
+	}
+	v, err := c.Get(src)
+	if err != nil {
+		return err // nothing moved; src state unchanged
+	}
+	if err := c.Set(dst, v); err != nil {
+		return &RenameError{Src: src, Dst: dst, Surviving: src, Err: err}
+	}
+	if _, err := c.Del(src); err != nil {
+		return &RenameError{Src: src, Dst: dst, Surviving: dst, Duplicated: true, Err: err}
+	}
+	return nil
+}
+
+// Keys scans every shard for the pattern in parallel and merges the
+// results, sorted.
+func (c *Cluster) Keys(pattern string) ([]string, error) {
+	per := make([][]string, len(c.shards))
+	err := c.fanout(func(i int) error {
+		rep, err := c.doOnShard(i, "", []byte("KEYS"), []byte(pattern))
+		if err != nil {
+			return err
+		}
+		if rep.kind != '*' {
+			return errProtocol
+		}
+		ks := make([]string, len(rep.array))
+		for j, b := range rep.array {
+			ks[j] = string(b)
+		}
+		per[i] = ks
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []string
+	for _, ks := range per {
 		all = append(all, ks...)
 	}
 	sort.Strings(all)
 	return all, nil
 }
 
-// MGet fetches many keys, fanning out one pipelined MGET per node.
+// MGet fetches many keys as a map; missing keys are absent. A convenience
+// wrapper over MGetSlice.
 func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
-	groups := c.group(keys)
+	vals, err := c.MGetSlice(keys)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string][]byte, len(keys))
-	for i, ks := range groups {
-		if len(ks) == 0 {
-			continue
-		}
-		vals, err := c.clients[i].MGet(ks...)
-		if err != nil {
-			return nil, err
-		}
-		for j, k := range ks {
-			if vals[j] != nil {
-				out[k] = vals[j]
-			}
+	for j, k := range keys {
+		if vals[j] != nil {
+			out[k] = vals[j]
 		}
 	}
 	return out, nil
 }
 
-// MSet stores many key-value pairs, one pipelined batch per node.
-func (c *Cluster) MSet(kv map[string][]byte) error {
-	batches := make([]map[string][]byte, len(c.clients))
-	for k, v := range kv {
-		i := c.nodeIndex(k)
-		if batches[i] == nil {
-			batches[i] = make(map[string][]byte)
-		}
-		batches[i][k] = v
+// MGetSlice fetches many keys positionally — vals[i] is the value of
+// keys[i], nil if missing. One pipelined MGET per owning shard, fanned out
+// in parallel; per-shard results land in a slice indexed by the key's
+// original position, so there is no per-key map traffic at all. This is
+// the read half of the feedback fast path.
+func (c *Cluster) MGetSlice(keys []string) ([][]byte, error) {
+	idx := make([][]int, len(c.shards))
+	for j, k := range keys {
+		i := c.ring.Lookup(k)
+		idx[i] = append(idx[i], j)
 	}
-	for i, b := range batches {
-		if len(b) == 0 {
-			continue
+	vals := make([][]byte, len(keys))
+	err := c.fanout(func(i int) error {
+		if len(idx[i]) == 0 {
+			return nil
 		}
-		if err := c.clients[i].PipelineSet(b); err != nil {
+		args := make([][]byte, 1, len(idx[i])+1)
+		args[0] = []byte("MGET")
+		for _, j := range idx[i] {
+			args = append(args, []byte(keys[j]))
+		}
+		rep, err := c.doOnShard(i, "", args...)
+		if err != nil {
 			return err
 		}
+		if rep.kind != '*' || len(rep.array) != len(idx[i]) {
+			return errProtocol
+		}
+		for n, j := range idx[i] {
+			vals[j] = rep.array[n]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	return vals, nil
 }
 
-// Size sums key counts across nodes.
-func (c *Cluster) Size() (int, error) {
-	total := 0
-	for _, cl := range c.clients {
-		n, err := cl.DBSize()
-		if err != nil {
-			return total, err
+// msetChunk bounds pairs per MSET command: large enough that the per-key
+// cost is one parse and one map assign (not a command round trip), small
+// enough that chunks still pipeline and bursts stay bounded in memory.
+const msetChunk = 256
+
+// MSet stores many key-value pairs: keys are sorted (wire order must be a
+// pure function of the data, never of map iteration) and handed to
+// MSetSlice.
+func (c *Cluster) MSet(kv map[string][]byte) error {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = kv[k]
+	}
+	return c.MSetSlice(keys, vals)
+}
+
+// MSetSlice stores vals[i] under keys[i]: keys are grouped per shard in
+// input order, and each shard's group rides chunked multi-key MSET
+// commands, all shards in parallel. This is the write half of the feedback
+// fast path — per-key cost inside an MSET is roughly an order of magnitude
+// below a SET round trip, which is where the pipelined client's bulk-write
+// speedup comes from. Wire order is a pure function of the input order;
+// callers feeding from a map must sort first (MSet does).
+func (c *Cluster) MSetSlice(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("kvstore: MSetSlice: %d keys, %d values", len(keys), len(vals))
+	}
+	idx := make([][]int, len(c.shards))
+	for j, k := range keys {
+		i := c.ring.Lookup(k)
+		idx[i] = append(idx[i], j)
+	}
+	return c.fanout(func(i int) error {
+		g := idx[i]
+		if len(g) == 0 {
+			return nil
 		}
+		nChunks := (len(g) + msetChunk - 1) / msetChunk
+		placements := make([]string, 0, nChunks)
+		cmds := make([][][]byte, 0, nChunks)
+		for lo := 0; lo < len(g); lo += msetChunk {
+			hi := lo + msetChunk
+			if hi > len(g) {
+				hi = len(g)
+			}
+			args := make([][]byte, 1, 1+2*(hi-lo))
+			args[0] = []byte("MSET")
+			for _, j := range g[lo:hi] {
+				args = append(args, []byte(keys[j]), vals[j])
+			}
+			placements = append(placements, keys[g[lo]])
+			cmds = append(cmds, args)
+		}
+		reps, err := c.shards[i].doBatch(c, placements, cmds)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			if rep.kind == '-' {
+				return errors.New(rep.str)
+			}
+		}
+		return nil
+	})
+}
+
+// Size sums key counts across shards, queried in parallel.
+func (c *Cluster) Size() (int, error) {
+	counts := make([]int, len(c.shards))
+	err := c.fanout(func(i int) error {
+		rep, rerr := c.doOnShard(i, "", []byte("DBSIZE"))
+		if rerr != nil {
+			return rerr
+		}
+		counts[i] = int(rep.n)
+		return nil
+	})
+	total := 0
+	for _, n := range counts {
 		total += n
 	}
-	return total, nil
+	return total, err
 }
 
-// FlushAll clears every node.
+// FlushAll clears every shard in parallel.
 func (c *Cluster) FlushAll() error {
-	for _, cl := range c.clients {
-		if err := cl.FlushAll(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.fanout(func(i int) error {
+		_, err := c.doOnShard(i, "", []byte("FLUSHALL"))
+		return err
+	})
 }
 
-func (c *Cluster) nodeIndex(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key)) //lint:allow errdiscipline -- hash.Hash.Write never returns an error by contract
-	return int(h.Sum32()) % len(c.clients)
-}
-
-func (c *Cluster) group(keys []string) [][]string {
-	groups := make([][]string, len(c.clients))
-	for _, k := range keys {
-		i := c.nodeIndex(k)
-		groups[i] = append(groups[i], k)
-	}
-	return groups
-}
-
-// Close closes all node connections.
+// Close closes all shard clients.
 func (c *Cluster) Close() error {
 	var first error
-	for _, cl := range c.clients {
-		if cl == nil {
+	for _, sc := range c.shards {
+		if sc == nil || sc.cl == nil {
 			continue
 		}
-		if err := cl.Close(); err != nil && first == nil {
+		if err := sc.cl.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
-}
-
-// ---------------------------------------------------------------------------
-// datastore.Store adapter
-
-// nsSep joins namespace and key into the flat cluster keyspace. Namespaces
-// and keys may not contain it.
-const nsSep = ":"
-
-// Store adapts a Cluster to the abstract data interface: namespaces become
-// key prefixes, Keys becomes a prefix scan, Move becomes a rename. This is
-// MuMMI's "redis interface": any component can talk to it while cluster
-// details stay hidden.
-//
-// Placement hashes only the key (not the namespace), so moving a key
-// between namespaces — the feedback tagging primitive — is always a
-// same-node rename, never a cross-node copy.
-type Store struct{ c *Cluster }
-
-// node returns the owning client for a bare (namespace-less) key.
-func (s *Store) node(key string) *Client { return s.c.clients[s.c.nodeIndex(key)] }
-
-// NewStore wraps an existing cluster connection.
-func NewStore(c *Cluster) *Store { return &Store{c: c} }
-
-func init() {
-	datastore.Register(datastore.BackendKV, func(cfg datastore.Config) (datastore.Store, error) {
-		cl, err := DialCluster(cfg.Addrs)
-		if err != nil {
-			return nil, err
-		}
-		return NewStore(cl), nil
-	})
-}
-
-func nsKey(ns, key string) (string, error) {
-	if ns == "" || key == "" || strings.Contains(ns, nsSep) || strings.Contains(key, nsSep) {
-		return "", fmt.Errorf("kvstore: invalid namespace/key %q/%q", ns, key)
-	}
-	return ns + nsSep + key, nil
-}
-
-// Put implements datastore.Store.
-func (s *Store) Put(ns, key string, data []byte) error {
-	k, err := nsKey(ns, key)
-	if err != nil {
-		return err
-	}
-	return s.node(key).Set(k, data)
-}
-
-// Get implements datastore.Store.
-func (s *Store) Get(ns, key string) ([]byte, error) {
-	k, err := nsKey(ns, key)
-	if err != nil {
-		return nil, err
-	}
-	v, err := s.node(key).Get(k)
-	if errors.Is(err, ErrNoSuchKey) {
-		return nil, fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, ns, key)
-	}
-	return v, err
-}
-
-// Delete implements datastore.Store.
-func (s *Store) Delete(ns, key string) error {
-	k, err := nsKey(ns, key)
-	if err != nil {
-		return err
-	}
-	n, err := s.node(key).Del(k)
-	if err != nil {
-		return err
-	}
-	if n == 0 {
-		return fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, ns, key)
-	}
-	return nil
-}
-
-// Keys implements datastore.Store.
-func (s *Store) Keys(ns string) ([]string, error) {
-	if ns == "" || strings.Contains(ns, nsSep) {
-		return nil, fmt.Errorf("kvstore: invalid namespace %q", ns)
-	}
-	full, err := s.c.Keys(ns + nsSep + "*")
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(full))
-	for i, f := range full {
-		out[i] = strings.TrimPrefix(f, ns+nsSep)
-	}
-	return out, nil
-}
-
-// Move implements datastore.Store ("renaming keys in the database"):
-// key-based placement makes this a single same-node RENAME.
-func (s *Store) Move(srcNS, key, dstNS string) error {
-	src, err := nsKey(srcNS, key)
-	if err != nil {
-		return err
-	}
-	dst, err := nsKey(dstNS, key)
-	if err != nil {
-		return err
-	}
-	if err := s.node(key).Rename(src, dst); errors.Is(err, ErrNoSuchKey) {
-		return fmt.Errorf("%w: %s/%s", datastore.ErrNotFound, srcNS, key)
-	} else if err != nil {
-		return err
-	}
-	return nil
-}
-
-// GetBatch implements datastore.BatchGetter: one pipelined MGET per node.
-func (s *Store) GetBatch(ns string, keys []string) (map[string][]byte, error) {
-	groups := make(map[int][]string)
-	for _, k := range keys {
-		if _, err := nsKey(ns, k); err != nil {
-			return nil, err
-		}
-		i := s.c.nodeIndex(k)
-		groups[i] = append(groups[i], k)
-	}
-	out := make(map[string][]byte, len(keys))
-	for node, ks := range groups {
-		full := make([]string, len(ks))
-		for i, k := range ks {
-			full[i] = ns + nsSep + k
-		}
-		vals, err := s.c.clients[node].MGet(full...)
-		if err != nil {
-			return nil, err
-		}
-		for i, k := range ks {
-			if vals[i] != nil {
-				out[k] = vals[i]
-			}
-		}
-	}
-	return out, nil
-}
-
-// MoveBatch implements datastore.BatchMover: with key-based placement every
-// rename is same-node, so the whole batch is one pipelined RENAME burst per
-// node.
-func (s *Store) MoveBatch(srcNS string, keys []string, dstNS string) error {
-	groups := make(map[int][][2]string)
-	for _, k := range keys {
-		src, err := nsKey(srcNS, k)
-		if err != nil {
-			return err
-		}
-		dst, err := nsKey(dstNS, k)
-		if err != nil {
-			return err
-		}
-		i := s.c.nodeIndex(k)
-		groups[i] = append(groups[i], [2]string{src, dst})
-	}
-	for node, pairs := range groups {
-		if _, err := s.c.clients[node].PipelineRename(pairs); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Close implements datastore.Store.
-func (s *Store) Close() error { return s.c.Close() }
-
-// ---------------------------------------------------------------------------
-// Test / deployment helper
-
-// LaunchCluster starts n in-process servers on ephemeral loopback ports and
-// returns their addresses plus a shutdown function. MuMMI's redis interface
-// "sets up a cluster of Redis servers ... allocated randomly to all compute
-// nodes"; this is that setup step for a single-machine deployment.
-func LaunchCluster(n int) (addrs []string, shutdown func(), err error) {
-	servers := make([]*Server, 0, n)
-	stop := func() {
-		for _, s := range servers {
-			s.Close() //lint:allow errdiscipline -- best-effort teardown of ephemeral in-process servers
-		}
-	}
-	for i := 0; i < n; i++ {
-		s := NewServer(nil)
-		addr, err := s.Listen("127.0.0.1:0")
-		if err != nil {
-			stop()
-			return nil, nil, err
-		}
-		servers = append(servers, s)
-		addrs = append(addrs, addr)
-	}
-	return addrs, stop, nil
 }

@@ -48,6 +48,34 @@ func clone(b []byte) []byte {
 	return v
 }
 
+// setOwned stores value without copying — the server's fast path. The
+// caller must hand over a freshly allocated slice and never touch it again;
+// combined with Set's clone-on-write this keeps every stored value
+// immutable, which is what lets getRef/mgetRef serve references.
+func (e *Engine) setOwned(key string, value []byte) {
+	if value == nil {
+		value = []byte{}
+	}
+	e.mu.Lock()
+	e.m[key] = value
+	e.mu.Unlock()
+}
+
+// msetOwned stores alternating key/value arguments under a single lock
+// acquisition — the per-key cost inside an MSET batch is one map assign,
+// not a lock round trip. Ownership semantics match setOwned.
+func (e *Engine) msetOwned(kv [][]byte) {
+	e.mu.Lock()
+	for i := 0; i+1 < len(kv); i += 2 {
+		v := kv[i+1]
+		if v == nil {
+			v = []byte{}
+		}
+		e.m[string(kv[i])] = v
+	}
+	e.mu.Unlock()
+}
+
 // Get returns the value at key.
 func (e *Engine) Get(key string) ([]byte, error) {
 	e.mu.RLock()
@@ -57,6 +85,32 @@ func (e *Engine) Get(key string) ([]byte, error) {
 		return nil, ErrNoSuchKey
 	}
 	return clone(v), nil
+}
+
+// getRef returns the stored value without copying. Stored values are
+// immutable (Set clones, setOwned transfers ownership, Rename moves the
+// slice), so the reference is safe to serialize concurrently with writes —
+// a racing Set replaces the map entry, it never mutates the old bytes.
+// Callers must not mutate the result.
+func (e *Engine) getRef(key []byte) ([]byte, bool) {
+	e.mu.RLock()
+	v, ok := e.m[string(key)]
+	e.mu.RUnlock()
+	return v, ok
+}
+
+// mgetRef is the multi-key getRef: one lock acquisition, references out,
+// nil entries for missing keys. Same immutability contract as getRef.
+func (e *Engine) mgetRef(keys [][]byte) [][]byte {
+	out := make([][]byte, len(keys))
+	e.mu.RLock()
+	for i, k := range keys {
+		if v, ok := e.m[string(k)]; ok {
+			out[i] = v
+		}
+	}
+	e.mu.RUnlock()
+	return out
 }
 
 // Del removes keys, returning how many existed.
@@ -87,14 +141,18 @@ func (e *Engine) Exists(key string) bool {
 func (e *Engine) Keys(pattern string) []string {
 	prefix, wildcard := strings.CutSuffix(pattern, "*")
 	e.mu.RLock()
-	var out []string
+	defer e.mu.RUnlock()
+	all := make([]string, 0, len(e.m))
 	for k := range e.m {
+		all = append(all, k)
+	}
+	sort.Strings(all)
+	out := all[:0]
+	for _, k := range all {
 		if wildcard && strings.HasPrefix(k, prefix) || !wildcard && k == pattern {
 			out = append(out, k)
 		}
 	}
-	e.mu.RUnlock()
-	sort.Strings(out)
 	return out
 }
 

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -401,6 +403,8 @@ func TestServerWrongArity(t *testing.T) {
 		{[]byte("KEYS")},
 		{[]byte("EXISTS")},
 		{[]byte("MGET")},
+		{[]byte("MSET"), []byte("k")},
+		{[]byte("MSET"), []byte("k"), []byte("v"), []byte("dangling")},
 	} {
 		rep, err := c.do(cmd...)
 		if err != nil {
@@ -555,14 +559,14 @@ func TestClusterSpreadsKeys(t *testing.T) {
 	if err != nil || total != 200 {
 		t.Fatalf("Size = %d, %v", total, err)
 	}
-	// Every node should own a nontrivial share under FNV hashing.
-	for i, cl := range c.clients {
-		n, err := cl.DBSize()
+	// Every shard should own a nontrivial share under ring hashing.
+	for i := range c.shards {
+		rep, err := c.doOnShard(i, "", []byte("DBSIZE"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n < 20 {
-			t.Errorf("node %d owns only %d/200 keys", i, n)
+		if rep.n < 20 {
+			t.Errorf("shard %d owns only %d/200 keys", i, rep.n)
 		}
 	}
 }
@@ -679,5 +683,137 @@ func TestSaveFileFailurePaths(t *testing.T) {
 	e.Set("k", []byte("v"))
 	if err := e.SaveFile("/nonexistent-dir/snapshot.mkv"); err == nil {
 		t.Error("SaveFile into missing directory succeeded")
+	}
+}
+
+func TestServerMSet(t *testing.T) {
+	s, c := startServer(t)
+	rep, err := c.do([]byte("MSET"),
+		[]byte("m:1"), []byte("v1"),
+		[]byte("m:2"), []byte("v2"),
+		[]byte("m:3"), []byte("v3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.kind != '+' || rep.str != "OK" {
+		t.Fatalf("MSET reply = %+v", rep)
+	}
+	for i := 1; i <= 3; i++ {
+		k := fmt.Sprintf("m:%d", i)
+		v, err := s.Engine().Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Errorf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+}
+
+func TestClusterSliceAPIs(t *testing.T) {
+	c := startCluster(t, 3)
+	keys := make([]string, 100)
+	vals := make([][]byte, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("slice:%03d", i)
+		vals[i] = []byte(fmt.Sprintf("payload-%03d", i))
+	}
+	if err := c.MSetSlice(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	// Positional results, with a missing key yielding a nil entry in place.
+	probe := append([]string{"slice:no-such-key"}, keys...)
+	got, err := c.MGetSlice(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(probe) {
+		t.Fatalf("MGetSlice returned %d values for %d keys", len(got), len(probe))
+	}
+	if got[0] != nil {
+		t.Errorf("missing key returned %q", got[0])
+	}
+	for i, k := range keys {
+		if !bytes.Equal(got[i+1], vals[i]) {
+			t.Errorf("value mismatch at %s: %q", k, got[i+1])
+		}
+	}
+	if err := c.MSetSlice(keys[:2], vals[:1]); err == nil {
+		t.Error("mismatched keys/vals lengths accepted")
+	}
+}
+
+func TestWrapConnHook(t *testing.T) {
+	s, _ := startServer(t)
+	var wrapped atomic.Int32
+	opts := ClientOptions{WrapConn: func(conn net.Conn) net.Conn {
+		wrapped.Add(1)
+		return conn
+	}}
+	c, err := DialOptions(s.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("w", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Load() == 0 {
+		t.Error("WrapConn never invoked for the sync client")
+	}
+	a, err := DialAsync(s.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rep, err := a.Do("w2", []byte("SET"), []byte("w2"), []byte("2"))
+	if err != nil || rep.kind != '+' {
+		t.Fatalf("async SET through wrapped conn = %+v, %v", rep, err)
+	}
+	if int(wrapped.Load()) < 2 {
+		t.Error("WrapConn never invoked for the async pool")
+	}
+}
+
+// A scatter burst larger than the in-flight window must not deadlock:
+// the writer has to flush buffered commands before blocking on a window
+// slot, or the replies that would free the window can never arrive.
+// Regression test for a pipelining deadlock hit by Fig7KVQueries
+// (hundreds of single-key DELs on one shard against the default window).
+func TestBurstLargerThanWindow(t *testing.T) {
+	addrs, shutdown, err := LaunchCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shutdown)
+	c, err := DialClusterOptions(addrs, ClientOptions{PoolSize: 1, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const n = 600 // per-shard bursts of ~300 single-key commands, window 8
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("burst:%04d", i)
+		vals[i] = []byte("v")
+	}
+	done := make(chan error, 1)
+	go func() {
+		if err := c.MSetSlice(keys, vals); err != nil {
+			done <- err
+			return
+		}
+		deleted, err := c.Del(keys...)
+		if err == nil && deleted != n {
+			err = fmt.Errorf("deleted %d of %d", deleted, n)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("burst larger than window deadlocked")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Persistence: the paper leans on Redis's redundancy for resilience ("Redis
@@ -34,11 +35,19 @@ func (e *Engine) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(e.m))); err != nil {
 		return err
 	}
-	for k, v := range e.m {
+	// Entries are written in sorted key order so that equal keyspaces always
+	// produce byte-identical snapshots (and map iteration order never leaks
+	// into persisted artifacts).
+	keys := make([]string, 0, len(e.m))
+	for k := range e.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		if err := writeEntry(bw, []byte(k)); err != nil {
 			return err
 		}
-		if err := writeEntry(bw, v); err != nil {
+		if err := writeEntry(bw, e.m[k]); err != nil {
 			return err
 		}
 	}

@@ -23,7 +23,10 @@ import (
 // Scope: the selector engine (dynim, knn, parallel) plus the workflow
 // manager (core), whose checkpoint/restore sweeps feed campaign replays,
 // plus the fault-injection engine (faults), whose schedules must be a pure
-// function of the plan seed for chaos replays to be byte-identical.
+// function of the plan seed for chaos replays to be byte-identical, plus
+// the kv store (kvstore), whose wire command order and snapshot bytes must
+// be a pure function of the data — map iteration order must never reach
+// the wire (socket deadlines are the one annotated exception).
 // dynim, knn, and parallel import no module packages outside this set, so
 // whole-package analysis over-approximates "reachable from the
 // FarthestPoint rank/selection paths".
@@ -33,7 +36,7 @@ var Determinism = &Analyzer{
 	Scope: func(pkgPath string) bool {
 		for _, suffix := range []string{
 			"internal/dynim", "internal/knn", "internal/parallel", "internal/core",
-			"internal/faults",
+			"internal/faults", "internal/kvstore",
 		} {
 			if strings.HasSuffix(pkgPath, suffix) {
 				return true

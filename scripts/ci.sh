@@ -23,11 +23,27 @@ go test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
 go run ./scripts/benchdiff BENCH_baseline.json BENCH_optimized.json
 go run ./scripts/benchdiff BENCH_baseline_full.json BENCH_optimized_full.json
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# kvstore feedback-path gate: re-run both kvstore-bench modes with the
+# committed workload shape (100µs modeled interconnect RTT, defaults
+# otherwise), check each fresh report against its committed counterpart
+# (workload metrics exact, timing within the regression threshold), and
+# enforce the ≥10x pipelined speedup floor on the committed pair and on
+# the fresh pair.
+go run ./cmd/kvstore-bench -mode baseline -rtt 100us -out "$tmpdir/kvb-baseline.json"
+go run ./cmd/kvstore-bench -mode pipelined -rtt 100us -out "$tmpdir/kvb-optimized.json"
+go run ./scripts/benchdiff BENCH_kvstore_baseline.json "$tmpdir/kvb-baseline.json"
+go run ./scripts/benchdiff BENCH_kvstore_optimized.json "$tmpdir/kvb-optimized.json"
+go run ./cmd/kvstore-bench -mode compare \
+	-compare BENCH_kvstore_baseline.json,BENCH_kvstore_optimized.json -min-speedup 10
+go run ./cmd/kvstore-bench -mode compare \
+	-compare "$tmpdir/kvb-baseline.json,$tmpdir/kvb-optimized.json" -min-speedup 10
+
 # Observability smoke: the example campaign must emit a loadable Chrome
 # trace and a metrics snapshot with nonzero counters for all four workflow
 # tasks (tracecheck fails on empty or unparsable artifacts).
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/mummi-sim campaign -scale 0.02 \
 	-trace "$tmpdir/trace.json" -metrics "$tmpdir/metrics.json"
 go run ./scripts/tracecheck "$tmpdir/trace.json" "$tmpdir/metrics.json"
