@@ -12,15 +12,11 @@ test:
 	$(GO) test ./...
 
 # The selector engine's determinism contract is only believable under the
-# race detector: the equivalence tests spawn worker counts 1, 2, 7, and
-# GOMAXPROCS over shared candidate arrays. core/sched/kvstore/feedback are
-# the coordination layers — workflow manager, scheduler, network store,
-# feedback loop — whose tests drive real goroutine interleavings.
+# race detector, and the coordination layers (workflow manager, scheduler,
+# network store, feedback loop) drive real goroutine interleavings in their
+# tests — so the whole module runs under -race, not a hand-picked subset.
 race:
-	$(GO) test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
-		./internal/core/... ./internal/sched/... ./internal/kvstore/... \
-		./internal/feedback/... ./internal/telemetry/... \
-		./internal/faults/... ./internal/retry/... ./internal/campaign/...
+	$(GO) test -race ./...
 
 # Paper-evaluation benchmarks (bench_test.go). -benchtime 3x keeps the
 # campaign replays tractable; see EXPERIMENTS.md for the recorded numbers.
@@ -55,11 +51,14 @@ kvbench:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet plus the project's own analyzer suite
-# (determinism, lockdiscipline, errdiscipline — see internal/lint and
-# DESIGN.md "Lint invariants"). Non-zero exit on any finding.
+# Static analysis: go vet plus the project's own analyzer suite — the
+# per-package analyzers (determinism, lockdiscipline, errdiscipline,
+# doccomment) and the interprocedural ones (goroutinelifecycle, lockorder,
+# channeldiscipline), with the stale-suppression audit and a wall-clock
+# budget. See internal/lint, docs/LINT.md, and DESIGN.md §8. Non-zero exit
+# on any finding.
 lint: vet
-	$(GO) run ./cmd/mummi-lint ./...
+	$(GO) run ./cmd/mummi-lint -unused-suppressions -budget 60s ./...
 
 # Observability demo: replay a small campaign with tracing, metrics, and a
 # heartbeat, validate the artifacts, and leave trace.json ready to open in

@@ -1,8 +1,10 @@
 // Command mummi-lint runs the project's static-analysis suite (package
-// internal/lint): determinism, lockdiscipline, and errdiscipline. It is
-// wired into `make lint` and scripts/ci.sh and exits non-zero on findings,
-// so a violated invariant fails the build rather than waiting for a test
-// to happen to trip over it.
+// internal/lint): the per-package analyzers (determinism, lockdiscipline,
+// errdiscipline, doccomment) and the interprocedural module analyzers
+// (goroutinelifecycle, lockorder, channeldiscipline). It is wired into
+// `make lint` and scripts/ci.sh and exits non-zero on findings, so a
+// violated invariant fails the build rather than waiting for a test to
+// happen to trip over it.
 //
 // Usage:
 //
@@ -10,10 +12,15 @@
 //
 //	patterns        ./...-style package patterns relative to the module
 //	                root (default ./...)
-//	-json           machine-readable output
+//	-json           machine-readable output: {"findings": [...],
+//	                "elapsed_ms": N, "packages": N, "analyzers": [...]}
 //	-analyzers      comma-separated subset (default: all)
 //	-errallow FILE  error-discipline allowlist (default: .errallow at the
 //	                module root, if present)
+//	-unused-suppressions  also fail on //lint:allow comments that suppress
+//	                nothing (stale suppressions)
+//	-budget D       warn on stderr when the run exceeds this wall-clock
+//	                budget (0 = no budget)
 //	-list           print the analyzers and exit
 //
 // Findings are suppressed with a `//lint:allow <analyzer> -- reason`
@@ -27,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mummi/internal/lint"
 )
@@ -39,24 +47,25 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	analyzerList := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	errAllowPath := flag.String("errallow", "", "errdiscipline allowlist file (default: <module>/.errallow)")
+	unusedSup := flag.Bool("unused-suppressions", false, "fail on //lint:allow comments that suppress nothing")
+	budget := flag.Duration("budget", 0, "warn when the run exceeds this wall-clock budget (0 = off)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range lint.AllModule() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
-	analyzers := lint.All()
-	if *analyzerList != "" {
-		var err error
-		analyzers, err = lint.ByName(*analyzerList)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
+	analyzers, modAnalyzers, err := lint.SelectAnalyzers(*analyzerList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -64,6 +73,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	start := time.Now()
 	mod, err := lint.LoadModule(cwd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,15 +86,14 @@ func run() int {
 		return 2
 	}
 
-	patterns := flag.Args()
-	var findings []lint.Diagnostic
-	for _, pkg := range mod.Pkgs {
-		if !mod.Match(pkg, patterns) {
-			continue
-		}
-		findings = append(findings, lint.RunAnalyzers(pkg, analyzers, errAllow)...)
-	}
-	lint.SortDiagnostics(findings)
+	findings := mod.Run(lint.RunOptions{
+		Analyzers:          analyzers,
+		ModuleAnalyzers:    modAnalyzers,
+		ErrAllow:           errAllow,
+		Patterns:           flag.Args(),
+		UnusedSuppressions: *unusedSup,
+	})
+	elapsed := time.Since(start)
 
 	// Report paths relative to the working directory, like go vet.
 	for i := range findings {
@@ -94,12 +103,25 @@ func run() int {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
+		names := make([]string, 0, len(analyzers)+len(modAnalyzers))
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		for _, a := range modAnalyzers {
+			names = append(names, a.Name)
+		}
 		if findings == nil {
 			findings = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		report := struct {
+			Findings  []lint.Diagnostic `json:"findings"`
+			ElapsedMS int64             `json:"elapsed_ms"`
+			Packages  int               `json:"packages"`
+			Analyzers []string          `json:"analyzers"`
+		}{findings, elapsed.Milliseconds(), len(mod.Pkgs), names}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
@@ -110,6 +132,10 @@ func run() int {
 		if len(findings) > 0 {
 			fmt.Printf("mummi-lint: %d finding(s)\n", len(findings))
 		}
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "mummi-lint: WARNING: wall-clock %s exceeds budget %s (source-mode type-check is ballooning; investigate before CI rots)\n",
+			elapsed.Round(time.Millisecond), *budget)
 	}
 	if len(findings) > 0 {
 		return 1

@@ -74,6 +74,15 @@ func (a *AsyncClient) Do(affinity string, args ...[]byte) (*reply, error) {
 
 // submit enqueues one command without waiting. The returned call completes
 // when the reply (or a transport error) arrives.
+//
+// The send happens outside a.mu: holding even the read lock across a
+// channel send means one stalled pipe (full window, dead server) wedges
+// Close — and, because a pending writer blocks new RLocks, every other
+// pipe's submitters with it. Instead each submitter registers on the
+// pipe's submitter count under the read lock; pipe.close waits for that
+// count to drain before closing reqCh, so the send can never race the
+// close. The Add happens-before Close's write lock, so a submitter that
+// passed the closed check is always awaited.
 func (a *AsyncClient) submit(affinity string, args ...[]byte) (*call, error) {
 	c := &call{args: args, done: make(chan struct{})}
 	a.mu.RLock()
@@ -82,8 +91,10 @@ func (a *AsyncClient) submit(affinity string, args ...[]byte) (*call, error) {
 		return nil, errClientClosed
 	}
 	p := a.pipes[a.pick(affinity)]
-	p.reqCh <- c
+	p.subWg.Add(1)
 	a.mu.RUnlock()
+	p.reqCh <- c
+	p.subWg.Done()
 	return c, nil
 }
 
@@ -149,6 +160,9 @@ type pipe struct {
 	inflight chan *call
 	opts     ClientOptions
 	wg       sync.WaitGroup
+	// subWg counts submitters currently sending on reqCh (registered under
+	// the client's read lock); close waits for it before closing reqCh.
+	subWg sync.WaitGroup
 
 	errMu  sync.Mutex
 	broken error
@@ -178,14 +192,19 @@ func newPipe(addr string, opts ClientOptions) (*pipe, error) {
 }
 
 // markBroken records the first transport error and closes the socket so
-// the peer goroutine unblocks; all later calls fail with this error.
+// the peer goroutine unblocks; all later calls fail with this error. The
+// close happens after errMu is released — a socket teardown can block, and
+// loadErr is on the per-command hot path.
 func (p *pipe) markBroken(err error) {
 	p.errMu.Lock()
-	if p.broken == nil {
+	first := p.broken == nil
+	if first {
 		p.broken = err
-		p.conn.Close() //lint:allow errdiscipline -- already failing with the first transport error; a close error adds nothing
 	}
 	p.errMu.Unlock()
+	if first {
+		p.conn.Close() // best-effort: already failing with the first transport error
+	}
 }
 
 func (p *pipe) loadErr() error {
@@ -289,17 +308,23 @@ func (p *pipe) readLoop() {
 	}
 }
 
-// close shuts the pipe down: no more submissions, the writer drains and
+// close shuts the pipe down: in-flight submitters drain (the client's
+// closed flag stops new ones registering), reqCh closes so the writer
 // exits, the reader completes or fails what is left, and both goroutines
-// are joined before the socket result is returned.
+// are joined before the socket result is returned. The socket close
+// happens outside errMu, mirroring markBroken.
 func (p *pipe) close() error {
+	p.subWg.Wait()
 	close(p.reqCh)
 	p.wg.Wait()
 	p.errMu.Lock()
-	defer p.errMu.Unlock()
-	if p.broken != nil {
+	wasBroken := p.broken != nil
+	if !wasBroken {
+		p.broken = errClientClosed
+	}
+	p.errMu.Unlock()
+	if wasBroken {
 		return nil // socket already closed by markBroken
 	}
-	p.broken = errClientClosed
 	return p.conn.Close()
 }

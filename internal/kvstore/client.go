@@ -345,14 +345,16 @@ func (c *Client) PipelineRename(pairs [][2]string) (int, error) {
 	return ok, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection. The socket close happens after c.mu is
+// released: a TCP teardown can block, and callers contending for the lock
+// should fail fast on the nil conn instead.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return conn.Close()
 }

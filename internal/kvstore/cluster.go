@@ -50,6 +50,11 @@ type shardConn struct {
 	active int
 	gen    uint64
 	cl     *AsyncClient
+	// redialing marks a recovery dial in progress; redialed (on mu) wakes
+	// the callers waiting for its outcome. The dial itself happens outside
+	// mu so client() never blocks behind a slow redial.
+	redialing bool
+	redialed  *sync.Cond
 }
 
 // DialCluster connects to every node of an unreplicated cluster with
@@ -82,7 +87,9 @@ func DialShards(shards []Shard, opts ClientOptions) (*Cluster, error) {
 		if err != nil {
 			return nil, errors.Join(fmt.Errorf("kvstore: shard %s: %w", sh.Primary, err), c.Close())
 		}
-		c.shards = append(c.shards, &shardConn{addrs: [2]string{sh.Primary, sh.Replica}, cl: cl})
+		sc := &shardConn{addrs: [2]string{sh.Primary, sh.Replica}, cl: cl}
+		sc.redialed = sync.NewCond(&sc.mu)
+		c.shards = append(c.shards, sc)
 	}
 	return c, nil
 }
@@ -108,27 +115,54 @@ func (s *shardConn) client() (*AsyncClient, uint64) {
 // caller already recovered (gen advanced), the fresh client is returned
 // as-is; otherwise the shard flips to its other node (when one exists)
 // and redials. The caller retries against whatever comes back.
+//
+// The dial and the old client's teardown both happen outside s.mu: a dial
+// can stall for its full timeout and closing the old client joins its
+// writer/reader goroutines, and neither may block the client() fast path
+// every other request on this shard takes. One caller claims the redial
+// (redialing flag); the rest wait on the condvar and re-check the
+// generation when woken.
 func (s *shardConn) recover(c *Cluster, gen uint64) (*AsyncClient, uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.gen != gen {
-		return s.cl, s.gen, nil
+	for {
+		if s.gen != gen {
+			cl, g := s.cl, s.gen
+			s.mu.Unlock()
+			return cl, g, nil
+		}
+		if !s.redialing {
+			break
+		}
+		s.redialed.Wait()
 	}
+	s.redialing = true
 	old := s.cl
 	if s.addrs[1] != "" {
 		s.active = 1 - s.active
 	}
-	cl, err := DialAsync(s.addrs[s.active], c.opts)
+	addr := s.addrs[s.active]
+	s.mu.Unlock()
+
+	cl, err := DialAsync(addr, c.opts)
+
+	s.mu.Lock()
+	s.redialing = false
+	s.redialed.Broadcast()
 	if err != nil {
+		// The broken client stays in place; the next recover attempt flips
+		// to the other node again (alternating addresses across retries).
+		s.mu.Unlock()
 		return nil, 0, err
 	}
 	s.cl = cl
 	s.gen++
+	g := s.gen
 	c.failovers.Add(1)
+	s.mu.Unlock()
 	if old != nil {
 		old.Close() //lint:allow errdiscipline -- the old client is already broken; recovery replaces it wholesale
 	}
-	return s.cl, s.gen, nil
+	return cl, g, nil
 }
 
 // do sends one command to the shard owning placement (which also pins the

@@ -222,7 +222,7 @@ func (s *Server) syncReplica(rl *replLink) *replLink {
 
 func (s *Server) degradeReplica(rl *replLink) {
 	s.replDegraded.Store(true)
-	rl.conn.Close() //lint:allow errdiscipline -- link already failed; close is best-effort cleanup
+	rl.conn.Close() // best-effort: link already failed
 }
 
 func (s *Server) dispatch(w *bufio.Writer, args [][]byte) error {

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"sort"
+)
+
+// ChannelDiscipline checks three channel invariants that all failed, or
+// nearly failed, in real coordination layers (this repo's and the paper's):
+//
+//  1. No blocking channel operation while holding a mutex. A send that
+//     blocks under a lock stalls every other goroutine that needs the
+//     lock — with an RWMutex it also wedges writers, which is how one
+//     stalled kvstore pipe froze Close and every other pipe's submitters.
+//     Checked interprocedurally: calling a function that (transitively)
+//     performs a blocking channel op while holding a lock is the same bug
+//     one frame removed.
+//
+//  2. No send on a channel that any function closes, unless an ordering
+//     guard proves the send cannot race the close: the sender is only
+//     reachable from the closing goroutine (single-owner channels like a
+//     writer's inflight queue), a WaitGroup brackets the send (Add before,
+//     Done after) and the closer Waits on it before closing, or the close
+//     and all sends share a mutex. An unguarded send/close race is a
+//     panic: "send on closed channel".
+//
+//  3. Flush-before-block: a function that buffers bytes into a
+//     bufio.Writer must not block on a bounded-channel send while those
+//     bytes sit unflushed. The replies that free window slots can only
+//     arrive for commands that reached the wire — blocking with them
+//     buffered is the PR 7 pipelined-kvstore deadlock. The blessed idiom
+//     passes: try a non-blocking send first, flush, then block
+//     (select { case ch <- c: default: flush(); ch <- c }).
+var ChannelDiscipline = &ModuleAnalyzer{
+	Name:  "channeldiscipline",
+	Doc:   "flags channel ops under a held mutex, unguarded sends on closable channels, and blocking bounded-window sends with unflushed buffered writes",
+	Scope: concScope,
+	Run:   runChannelDiscipline,
+}
+
+func runChannelDiscipline(pass *ModulePass) {
+	sums := pass.Sums
+	for _, id := range sums.Order {
+		fn := sums.Fns[id]
+		if !pass.InScope(fn.Pkg.ImportPath) {
+			continue
+		}
+		checkChanUnderLock(pass, sums, fn)
+		checkSendCloseRace(pass, sums, fn)
+		checkFlushBeforeBlock(pass, sums, fn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: blocking channel ops under a held mutex
+
+func checkChanUnderLock(pass *ModulePass, sums *Summaries, fn *FuncSummary) {
+	for _, ev := range fn.Events {
+		switch ev.Kind {
+		case EvSend, EvRecv:
+			if ev.NonBlocking || len(ev.Held) == 0 {
+				continue
+			}
+			verb := "send on"
+			if ev.Kind == EvRecv {
+				verb = "receive from"
+			}
+			pass.Reportf(fn, ev.Pos,
+				"blocking %s channel %s while holding %s; a stalled peer wedges every goroutine contending for the lock",
+				verb, ev.Key, ev.Held[0])
+		case EvCall:
+			if ev.Ref || ev.Callee == "" || len(ev.Held) == 0 {
+				continue
+			}
+			callee := sums.Fn(ev.Callee)
+			if callee == nil || callee.TransChanOp == nil {
+				continue
+			}
+			op := callee.TransChanOp
+			var what string
+			switch op.Kind {
+			case EvRecv:
+				what = "receives from channel " + op.Key
+			case EvWGWait:
+				what = "waits on WaitGroup " + op.Key
+			default:
+				what = "sends on channel " + op.Key
+			}
+			opPos := op.Fn.Pkg.Fset.Position(op.Pos)
+			pass.Reportf(fn, ev.Pos,
+				"calling %s while holding %s; it (transitively) %s at %s:%d, a blocking operation under the lock",
+				callee.Name, ev.Held[0], what, shortFile(opPos.Filename), opPos.Line)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: send on a channel some function closes, without an ordering guard
+
+func checkSendCloseRace(pass *ModulePass, sums *Summaries, fn *FuncSummary) {
+	for _, ev := range fn.Events {
+		if ev.Kind != EvSend {
+			continue
+		}
+		closers := sums.ChanClosers[ev.Key]
+		if len(closers) == 0 {
+			continue
+		}
+		if sendCloseGuarded(sums, fn, ev, closers) {
+			continue
+		}
+		pass.Reportf(fn, ev.Pos,
+			"send on %s, which %s closes; no ordering guard (single-owner goroutine, WaitGroup bracketing, or shared mutex) proves the send cannot race the close — a lost race panics",
+			ev.Key, closers[0].Name)
+	}
+}
+
+// sendCloseGuarded recognizes the three safe send-vs-close disciplines.
+func sendCloseGuarded(sums *Summaries, fn *FuncSummary, send Event, closers []*FuncSummary) bool {
+	for _, closer := range closers {
+		if senderOwnedBy(sums, fn, closer) {
+			return true
+		}
+		if wgBracketGuard(sums, fn, send, closer) {
+			return true
+		}
+		if mutexGuard(sums, send, closer) {
+			return true
+		}
+	}
+	return false
+}
+
+// senderOwnedBy reports whether every caller chain above fn passes through
+// closer before reaching a root — i.e. the send can only execute inside
+// the closing goroutine's own call tree, sequenced before its close (which
+// this codebase always defers or places last).
+func senderOwnedBy(sums *Summaries, fn *FuncSummary, closer *FuncSummary) bool {
+	if fn == closer {
+		return true
+	}
+	seen := map[FuncID]bool{fn.ID: true}
+	queue := []FuncID{fn.ID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		callers := sums.Callers[cur]
+		if len(callers) == 0 {
+			// Reached a root that is not the closer: an escape hatch exists.
+			return false
+		}
+		for _, caller := range callers {
+			if caller == closer.ID {
+				continue // dominated on this path
+			}
+			if !seen[caller] {
+				seen[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return true
+}
+
+// wgBracketGuard recognizes the submitter-count discipline: the sending
+// function brackets the send with Add(...) before and Done() after (or
+// deferred) on some WaitGroup, and the closer Waits on that WaitGroup
+// before its close — so the close cannot start until every in-flight send
+// has completed.
+func wgBracketGuard(sums *Summaries, fn *FuncSummary, send Event, closer *FuncSummary) bool {
+	keys := make([]string, 0, len(fn.WGAdd))
+	for k := range fn.WGAdd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if fn.WGAdd[k] >= send.Pos || !fn.WGDone[k] {
+			continue
+		}
+		// A Done before the send would release the bracket too early.
+		doneAfter := false
+		for _, ev := range fn.Events {
+			if ev.Kind == EvWGDone && ev.Key == k && ev.Pos > send.Pos {
+				doneAfter = true
+				break
+			}
+		}
+		if !doneAfter {
+			continue
+		}
+		if waitPos, ok := closer.WGWait[k]; ok {
+			// The Wait must precede the close in the closer.
+			if closePos, has := closer.CloseKeys[send.Key]; has && waitPos < closePos {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mutexGuard recognizes close/send serialized by a common mutex: every
+// send site holds M, and the closer holds M at its close of the channel.
+func mutexGuard(sums *Summaries, send Event, closer *FuncSummary) bool {
+	for _, held := range send.Held {
+		for _, ev := range closer.Events {
+			if ev.Kind != EvClose || ev.Key != send.Key {
+				continue
+			}
+			for _, h := range ev.Held {
+				if h == held {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: flush-before-block on bounded-window sends
+
+// checkFlushBeforeBlock replays the function's event stream tracking which
+// bufio.Writers have (possibly) unflushed bytes. The entry state is
+// pessimistic — every writer the function or its callees touch starts
+// dirty — because loop bodies re-enter with the previous iteration's
+// leftovers. A blocking send on a buffered (windowed) channel while any
+// tracked writer is dirty is the deadlock: slots only free up when flushed
+// commands reach the peer.
+func checkFlushBeforeBlock(pass *ModulePass, sums *Summaries, fn *FuncSummary) {
+	// Keys local to a callee ("file.go:NN:name" — its own parameters)
+	// mean nothing in this frame and are ignored everywhere below; the
+	// call site's argument detection already recorded such writes under
+	// this function's canonical key.
+	dirty := map[string]bool{}
+	touches := func(keys map[string]bool) {
+		for k := range keys {
+			if !localKey(k) {
+				dirty[k] = true
+			}
+		}
+	}
+	for _, ev := range fn.Events {
+		switch ev.Kind {
+		case EvBufWrite:
+			dirty[ev.Key] = true
+		case EvFlush:
+		case EvCall:
+			if ev.Callee != "" && !ev.Ref {
+				if callee := sums.Fn(ev.Callee); callee != nil {
+					touches(callee.TransWrites)
+				}
+			}
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	for _, ev := range fn.Events {
+		switch ev.Kind {
+		case EvBufWrite:
+			dirty[ev.Key] = true
+		case EvFlush:
+			dirty[ev.Key] = false
+		case EvCall:
+			if ev.Ref || ev.Callee == "" {
+				continue
+			}
+			callee := sums.Fn(ev.Callee)
+			if callee == nil {
+				continue
+			}
+			// Apply the callee's net effect: flushes first, then writes (a
+			// helper that writes after flushing leaves the writer dirty).
+			for k := range callee.TransFlushes {
+				if !localKey(k) && !callee.TransWrites[k] {
+					dirty[k] = false
+				}
+			}
+			for k := range callee.TransWrites {
+				if !localKey(k) {
+					dirty[k] = true
+				}
+			}
+		case EvSend:
+			if ev.NonBlocking || !sums.ChanBuffered[ev.Key] {
+				continue
+			}
+			var wet []string
+			for k, d := range dirty {
+				if d {
+					wet = append(wet, k)
+				}
+			}
+			if len(wet) == 0 {
+				continue
+			}
+			sort.Strings(wet)
+			pass.Reportf(fn, ev.Pos,
+				"blocking send on bounded channel %s with unflushed buffered writes (%s); the replies that free window slots need those bytes on the wire — flush first or use select-with-default then flush (the pipelined-kvstore deadlock)",
+				ev.Key, wet[0])
+		}
+	}
+}

@@ -7,25 +7,45 @@
 // exercise them. The analyzers here turn those invariants into properties
 // checked on every build.
 //
-// Four project-specific analyzers ship with the framework:
+// Four per-package analyzers ship with the framework:
 //
 //   - determinism: no iteration-order, RNG, or wall-clock nondeterminism
 //     inside the determinism-contracted packages (dynim, knn, parallel,
-//     core).
+//     core, faults, kvstore).
 //   - lockdiscipline: every Lock has an unlock on all return paths, no
 //     blocking operations while a mutex is held, no by-value copies of
-//     lock-bearing structs (core, sched).
+//     lock-bearing structs (core, sched, faults, kvstore).
 //   - errdiscipline: no silently discarded errors anywhere in the module,
 //     modulo an explicit allowlist.
 //   - doccomment: every exported identifier in the instrumented packages
-//     (core, sched, datastore, telemetry) carries a doc comment.
+//     carries a doc comment.
+//
+// On top of those, a shared interprocedural layer (summary.go) builds a
+// module-wide call graph and per-function summaries — locks acquired,
+// channel operations, goroutines spawned, blocking calls — and three
+// module analyzers (module.go) consume them:
+//
+//   - goroutinelifecycle: every go statement must have a provable
+//     shutdown/join path (WaitGroup, context cancellation, or a
+//     close-signaled channel).
+//   - lockorder: the module-wide lock-acquisition-order graph must be
+//     acyclic; cycles are deadlock risks and self-cycles through a call
+//     are guaranteed deadlocks.
+//   - channeldiscipline: no blocking channel operation while a mutex is
+//     held (directly or through a callee), no send on a channel that
+//     another path closes without an ordering guard, and no blocking send
+//     on a bounded channel with unflushed buffered writes pending (the
+//     pipelined-kvstore flush-before-block rule).
 //
 // Findings can be suppressed with a
 //
 //	//lint:allow <analyzer> [<analyzer>...] -- <reason>
 //
 // comment on the offending line or the line directly above it; the reason
-// is mandatory by convention (the self-clean test keeps the repo honest).
+// is mandatory by convention, and the -unused-suppressions mode (CI's
+// default) turns any allow comment that no longer matches a finding into
+// its own diagnostic, so stale exceptions cannot accumulate. The
+// self-clean test keeps the repo honest under all of the above.
 package lint
 
 import (
@@ -103,14 +123,12 @@ func All() []*Analyzer {
 	return []*Analyzer{Determinism, LockDiscipline, ErrDiscipline, DocComment}
 }
 
-// ByName resolves a comma-separated analyzer list ("determinism,errdiscipline").
+// ByName resolves a comma-separated per-package analyzer list
+// ("determinism,errdiscipline"). Module analyzers are resolved by
+// SelectAnalyzers (module.go), which mixes both kinds.
 func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
-	for _, n := range strings.Split(names, ",") {
-		n = strings.TrimSpace(n)
-		if n == "" {
-			continue
-		}
+	for _, n := range splitNames(names) {
 		found := false
 		for _, a := range All() {
 			if a.Name == n {
@@ -125,18 +143,53 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+func splitNames(names string) []string {
+	var out []string
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Suppression: //lint:allow <name>... [-- reason]
 
 var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z, ]+?)\s*(?:--.*)?$`)
 
-// suppressions maps file name -> line -> set of allowed analyzer names. A
-// comment suppresses findings on its own line and on the line directly
-// below it (covering both trailing and standalone comment placement).
-type suppressions map[string]map[int]map[string]bool
+// allowComment is one //lint:allow comment. It suppresses findings on its
+// own line and on the line directly below it (covering both trailing and
+// standalone placement), and remembers whether it ever absorbed a finding
+// so stale comments can be reported.
+type allowComment struct {
+	file  string
+	line  int // the comment's own line
+	names map[string]bool
+	used  bool
+}
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := suppressions{}
+func (c *allowComment) allows(d Diagnostic) bool {
+	if d.File != c.file || (d.Line != c.line && d.Line != c.line+1) {
+		return false
+	}
+	return c.names[d.Analyzer] || c.names["all"]
+}
+
+// SuppressionTable indexes every //lint:allow comment in a run and tracks
+// which ones actually suppressed something.
+type SuppressionTable struct {
+	byFile map[string][]*allowComment
+	all    []*allowComment
+}
+
+// NewSuppressionTable returns an empty table; fill it with Add.
+func NewSuppressionTable() *SuppressionTable {
+	return &SuppressionTable{byFile: map[string][]*allowComment{}}
+}
+
+// Add indexes the allow comments of one package's files.
+func (t *SuppressionTable) Add(fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -145,34 +198,67 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					sup[pos.Filename] = byLine
-				}
+				ac := &allowComment{file: pos.Filename, line: pos.Line, names: map[string]bool{}}
 				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
 					return r == ' ' || r == ','
 				}) {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if byLine[line] == nil {
-							byLine[line] = map[string]bool{}
-						}
-						byLine[line][name] = true
-					}
+					ac.names[name] = true
 				}
+				t.byFile[ac.file] = append(t.byFile[ac.file], ac)
+				t.all = append(t.all, ac)
 			}
 		}
 	}
-	return sup
 }
 
-func (s suppressions) allows(d Diagnostic) bool {
-	byLine := s[d.File]
-	if byLine == nil {
-		return false
+// Allows reports whether some comment suppresses d, marking it used.
+func (t *SuppressionTable) Allows(d Diagnostic) bool {
+	hit := false
+	for _, c := range t.byFile[d.File] {
+		if c.allows(d) {
+			c.used = true
+			hit = true
+		}
 	}
-	names := byLine[d.Line]
-	return names[d.Analyzer] || names["all"]
+	return hit
+}
+
+// Unused returns one synthetic finding per comment that suppressed nothing,
+// restricted to comments whose analyzers all actually ran (a determinism
+// allow is not stale just because only errdiscipline ran). Comments naming
+// "all" are only auditable on a full run, so they are judged whenever any
+// analyzer ran.
+func (t *SuppressionTable) Unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range t.all {
+		if c.used {
+			continue
+		}
+		judgeable := true
+		for name := range c.names {
+			if name != "all" && !ran[name] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		names := make([]string, 0, len(c.names))
+		for name := range c.names {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Analyzer: "unused-suppression",
+			File:     c.file,
+			Line:     c.line,
+			Col:      1,
+			Message: fmt.Sprintf("//lint:allow %s suppresses nothing; delete the stale comment",
+				strings.Join(names, ",")),
+		})
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -181,7 +267,8 @@ func (s suppressions) allows(d Diagnostic) bool {
 // RunAnalyzers applies each in-scope analyzer to pkg, filters suppressed
 // findings, and returns the rest sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer, errAllow []string) []Diagnostic {
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	sup := NewSuppressionTable()
+	sup.Add(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
 		if a.Scope != nil && !a.Scope(pkg.ImportPath) {
@@ -197,7 +284,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, errAllow []string) []Diag
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if !sup.allows(d) {
+			if !sup.Allows(d) {
 				out = append(out, d)
 			}
 		}

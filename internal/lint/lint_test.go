@@ -5,6 +5,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -31,53 +32,80 @@ type wantDiag struct {
 // driver uses.
 func loadTestPackage(t *testing.T, dir, importPath string) (*Package, []wantDiag) {
 	t.Helper()
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg := &Package{Dir: dir, ImportPath: importPath, Fset: fset}
-	var wants []wantDiag
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatal(err)
-		}
-		pkg.Files = append(pkg.Files, f)
-		src, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(src), "\n") {
-			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
-				}
-				wants = append(wants, wantDiag{file: path, line: i + 1, re: re})
-			}
-		}
-	}
-	if err := typeCheck(fset, pkg, importer.ForCompiler(fset, "source", nil)); err != nil {
-		t.Fatal(err)
-	}
-	return pkg, wants
+	pkgs, wants := loadTestModule(t, [][2]string{{dir, importPath}})
+	return pkgs[0], wants
 }
 
-// runGolden applies one analyzer to its golden package and verifies the
-// diagnostics against the want comments bidirectionally.
-func runGolden(t *testing.T, a *Analyzer, dirName, importPath string, errAllow []string) {
-	t.Helper()
-	dir := filepath.Join("testdata", "src", dirName)
-	pkg, wants := loadTestPackage(t, dir, importPath)
-	if a.Scope != nil && !a.Scope(importPath) {
-		t.Fatalf("test import path %q is outside %s's scope", importPath, a.Name)
+// chainImporter resolves the already-loaded fixture packages first and
+// falls back to the stdlib source importer — the testing twin of the
+// driver's moduleImporter.
+type chainImporter struct {
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.pkgs[path]; ok {
+		return p.Types, nil
 	}
-	diags := RunAnalyzers(pkg, []*Analyzer{a}, errAllow)
+	return ci.std.Import(path)
+}
+
+// loadTestModule parses and type-checks several testdata directories as a
+// set of packages sharing one fset, in the given {dir, importPath} order
+// (dependencies first) so later fixtures can import earlier ones — the
+// multi-package setting the interprocedural analyzers exist for.
+func loadTestModule(t *testing.T, specs [][2]string) ([]*Package, []wantDiag) {
+	t.Helper()
+	fset := token.NewFileSet()
+	byPath := map[string]*Package{}
+	imp := &chainImporter{pkgs: byPath, std: importer.ForCompiler(fset, "source", nil)}
+	var pkgs []*Package
+	var wants []wantDiag
+	for _, spec := range specs {
+		dir, importPath := spec[0], spec[1]
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := &Package{Dir: dir, ImportPath: importPath, Fset: fset}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+					}
+					wants = append(wants, wantDiag{file: path, line: i + 1, re: re})
+				}
+			}
+		}
+		if err := typeCheck(fset, pkg, imp); err != nil {
+			t.Fatal(err)
+		}
+		byPath[importPath] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, wants
+}
+
+// matchWants verifies diagnostics against want comments bidirectionally:
+// every diagnostic matches a want, and every want is matched.
+func matchWants(t *testing.T, diags []Diagnostic, wants []wantDiag) {
+	t.Helper()
 	for _, d := range diags {
 		found := false
 		for i := range wants {
@@ -99,6 +127,38 @@ func runGolden(t *testing.T, a *Analyzer, dirName, importPath string, errAllow [
 	}
 }
 
+// runGolden applies one analyzer to its golden package and verifies the
+// diagnostics against the want comments bidirectionally.
+func runGolden(t *testing.T, a *Analyzer, dirName, importPath string, errAllow []string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", dirName)
+	pkg, wants := loadTestPackage(t, dir, importPath)
+	if a.Scope != nil && !a.Scope(importPath) {
+		t.Fatalf("test import path %q is outside %s's scope", importPath, a.Name)
+	}
+	matchWants(t, RunAnalyzers(pkg, []*Analyzer{a}, errAllow), wants)
+}
+
+// runModuleGolden applies module analyzers to golden packages — building
+// the interprocedural summaries and the suppression table exactly as the
+// driver does — and verifies the findings bidirectionally.
+func runModuleGolden(t *testing.T, analyzers []*ModuleAnalyzer, specs [][2]string) {
+	t.Helper()
+	pkgs, wants := loadTestModule(t, specs)
+	sums := BuildSummaries(pkgs)
+	table := NewSuppressionTable()
+	for _, pkg := range pkgs {
+		table.Add(pkg.Fset, pkg.Files)
+	}
+	var diags []Diagnostic
+	for _, d := range RunModuleAnalyzers(pkgs, sums, analyzers, nil) {
+		if !table.Allows(d) {
+			diags = append(diags, d)
+		}
+	}
+	matchWants(t, diags, wants)
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, Determinism, "determinism", "lab/internal/dynim", nil)
 }
@@ -113,6 +173,32 @@ func TestErrDisciplineGolden(t *testing.T) {
 
 func TestDocCommentGolden(t *testing.T) {
 	runGolden(t, DocComment, "doccomment", "lab/internal/telemetry", nil)
+}
+
+func TestGoroutineLifecycleGolden(t *testing.T) {
+	runModuleGolden(t, []*ModuleAnalyzer{GoroutineLifecycle},
+		[][2]string{{filepath.Join("testdata", "src", "goroutinelifecycle"), "lab/internal/sched"}})
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	runModuleGolden(t, []*ModuleAnalyzer{LockOrder},
+		[][2]string{{filepath.Join("testdata", "src", "lockorder"), "lab/internal/core"}})
+}
+
+func TestChannelDisciplineGolden(t *testing.T) {
+	runModuleGolden(t, []*ModuleAnalyzer{ChannelDiscipline},
+		[][2]string{{filepath.Join("testdata", "src", "channeldiscipline"), "lab/internal/kvstore"}})
+}
+
+// TestInterprocGolden loads two fixture packages where every finding (and
+// every proof of safety) requires summaries to propagate across the
+// package boundary: a cross-package lock-order cycle, a blocking callee
+// behind an import, and join evidence living in the other package.
+func TestInterprocGolden(t *testing.T) {
+	runModuleGolden(t, AllModule(), [][2]string{
+		{filepath.Join("testdata", "src", "interproc", "a"), "lab/internal/core"},
+		{filepath.Join("testdata", "src", "interproc", "b"), "lab/internal/sched"},
+	})
 }
 
 // TestScopeFiltersPackages re-runs the determinism golden package under an
@@ -167,9 +253,72 @@ func tooFar() int64 {
 	}
 }
 
-// TestRepoIsLintClean loads the real module and runs the full suite with
-// the repo's .errallow: the codebase must stay finding-free, exactly as
-// `go run ./cmd/mummi-lint ./...` enforces in CI.
+// TestModuleScopeFilters re-runs the channeldiscipline fixture under an
+// import path outside the concurrency scope: the module analyzers must
+// stay silent even though the source is full of violations.
+func TestModuleScopeFilters(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "channeldiscipline")
+	pkgs, _ := loadTestModule(t, [][2]string{{dir, "lab/internal/ui"}})
+	sums := BuildSummaries(pkgs)
+	if diags := RunModuleAnalyzers(pkgs, sums, AllModule(), nil); len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestModuleSuppressionAndUnused drives Module.Run end to end on an inline
+// package: a //lint:allow must absorb a module-analyzer finding, and with
+// UnusedSuppressions set a comment that matches nothing must surface as a
+// synthetic unused-suppression finding.
+func TestModuleSuppressionAndUnused(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) suppressed(v int) {
+	b.mu.Lock()
+	//lint:allow channeldiscipline -- exercising suppression of module analyzers
+	b.ch <- v
+	b.mu.Unlock()
+}
+
+//lint:allow channeldiscipline -- stale: matches nothing
+func (b *box) clean() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "modsup.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: ".", ImportPath: "lab/internal/kvstore", Fset: fset, Files: []*ast.File{f}}
+	if err := typeCheck(fset, pkg, importer.ForCompiler(fset, "source", nil)); err != nil {
+		t.Fatal(err)
+	}
+	m := &Module{Root: ".", Path: "lab", Fset: fset, Pkgs: []*Package{pkg}}
+
+	diags := m.Run(RunOptions{ModuleAnalyzers: AllModule(), UnusedSuppressions: true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the stale-comment finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "unused-suppression" || diags[0].Line != 17 {
+		t.Errorf("got %s, want unused-suppression at line 17", diags[0])
+	}
+
+	// Without the flag, the stale comment passes silently.
+	if diags := m.Run(RunOptions{ModuleAnalyzers: AllModule()}); len(diags) != 0 {
+		t.Errorf("without UnusedSuppressions got %v, want none", diags)
+	}
+}
+
+// TestRepoIsLintClean loads the real module and runs the full suite —
+// per-package and interprocedural analyzers, plus the stale-suppression
+// audit — with the repo's .errallow: the codebase must stay finding-free,
+// exactly as `go run ./cmd/mummi-lint -unused-suppressions ./...` enforces
+// in CI.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped with -short")
@@ -186,9 +335,13 @@ func TestRepoIsLintClean(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for _, pkg := range mod.Pkgs {
-		for _, d := range RunAnalyzers(pkg, All(), errAllow) {
-			t.Errorf("repo not lint-clean: %s", d)
-		}
+	diags := mod.Run(RunOptions{
+		Analyzers:          All(),
+		ModuleAnalyzers:    AllModule(),
+		ErrAllow:           errAllow,
+		UnusedSuppressions: true,
+	})
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
 	}
 }

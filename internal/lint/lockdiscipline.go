@@ -33,7 +33,8 @@ var LockDiscipline = &Analyzer{
 	Scope: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core") ||
 			strings.HasSuffix(pkgPath, "internal/sched") ||
-			strings.HasSuffix(pkgPath, "internal/faults")
+			strings.HasSuffix(pkgPath, "internal/faults") ||
+			strings.HasSuffix(pkgPath, "internal/kvstore")
 	},
 	Run: runLockDiscipline,
 }
@@ -452,6 +453,13 @@ func (la *lockAnalysis) blockingCall(call *ast.CallExpr) string {
 	case path == "net" || strings.HasPrefix(path, "net/"):
 		return "network I/O (" + path + "." + name + ")"
 	case strings.HasSuffix(path, "internal/datastore") || strings.HasSuffix(path, "internal/kvstore"):
+		// Calls into the storage layer from outside it are RPCs/disk ops.
+		// Calls between functions of the same package are local helpers —
+		// whether one of those transitively blocks is the interprocedural
+		// channeldiscipline analyzer's job, not this per-call heuristic's.
+		if la.pass.Pkg != nil && fn.Pkg().Path() == la.pass.Pkg.Path() {
+			return ""
+		}
 		return "datastore I/O (" + name + ")"
 	case path == "os" && isFileIO(name):
 		return "file I/O (os." + name + ")"

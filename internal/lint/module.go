@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// ModuleAnalyzer is an interprocedural invariant checker: unlike Analyzer
+// it sees every package in the module at once, through the shared summary
+// layer (summary.go), because the properties it checks — goroutine
+// join paths, lock-acquisition order, channel close/send races — only
+// exist across function and package boundaries.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	// Scope decides which packages' code may be *reported on*. Summaries
+	// are always built for the whole module (facts propagate through
+	// unscoped code), but findings are anchored to scoped packages only.
+	Scope func(pkgPath string) bool
+	Run   func(*ModulePass)
+}
+
+// ModulePass carries the whole module through one module analyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Pkgs     []*Package
+	Sums     *Summaries
+
+	// matched restricts reporting to the packages selected by the driver's
+	// patterns (nil = all).
+	matched map[string]bool
+	diags   []Diagnostic
+}
+
+// InScope reports whether findings may be anchored in pkgPath.
+func (p *ModulePass) InScope(pkgPath string) bool {
+	if p.Analyzer.Scope != nil && !p.Analyzer.Scope(pkgPath) {
+		return false
+	}
+	if p.matched != nil && !p.matched[pkgPath] {
+		return false
+	}
+	return true
+}
+
+// Reportf records a finding anchored inside fn; out-of-scope anchors are
+// dropped (the fact may involve unscoped code, the report may not live
+// there).
+func (p *ModulePass) Reportf(fn *FuncSummary, pos token.Pos, format string, args ...any) {
+	if fn == nil || !p.InScope(fn.Pkg.ImportPath) {
+		return
+	}
+	position := fn.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllModule returns the module-analyzer suite in reporting order.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{GoroutineLifecycle, LockOrder, ChannelDiscipline}
+}
+
+// SelectAnalyzers resolves a comma-separated analyzer list that may mix
+// per-package and module analyzers. An empty list selects everything.
+func SelectAnalyzers(names string) ([]*Analyzer, []*ModuleAnalyzer, error) {
+	if names == "" {
+		return All(), AllModule(), nil
+	}
+	var pas []*Analyzer
+	var mas []*ModuleAnalyzer
+	for _, n := range splitNames(names) {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				pas = append(pas, a)
+				found = true
+			}
+		}
+		for _, a := range AllModule() {
+			if a.Name == n {
+				mas = append(mas, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return pas, mas, nil
+}
+
+// RunModuleAnalyzers applies module analyzers over pre-built summaries and
+// returns raw (unsuppressed, unsorted) findings. The golden tests use this
+// directly; the driver entry point is Module.Run.
+func RunModuleAnalyzers(pkgs []*Package, sums *Summaries, analyzers []*ModuleAnalyzer, matched map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &ModulePass{Analyzer: a, Pkgs: pkgs, Sums: sums, matched: matched}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	return out
+}
+
+// RunOptions configures one whole-module lint run.
+type RunOptions struct {
+	Analyzers       []*Analyzer
+	ModuleAnalyzers []*ModuleAnalyzer
+	ErrAllow        []string
+	// Patterns restricts which packages findings may be reported in
+	// (./...-style, nil = all). Summaries and suppression bookkeeping still
+	// cover the whole module.
+	Patterns []string
+	// UnusedSuppressions adds a synthetic "unused-suppression" finding for
+	// every //lint:allow comment that suppressed nothing in this run.
+	UnusedSuppressions bool
+}
+
+// Run is the single entry point the CLI and the self-clean test share: it
+// runs the per-package and module analyzers, applies suppressions across
+// both, and (optionally) reports stale suppressions.
+func (m *Module) Run(opts RunOptions) []Diagnostic {
+	matched := map[string]bool{}
+	anyMatch := false
+	for _, pkg := range m.Pkgs {
+		if m.Match(pkg, opts.Patterns) {
+			matched[pkg.ImportPath] = true
+			anyMatch = true
+		}
+	}
+	_ = anyMatch
+
+	table := NewSuppressionTable()
+	for _, pkg := range m.Pkgs {
+		if matched[pkg.ImportPath] {
+			table.Add(pkg.Fset, pkg.Files)
+		}
+	}
+
+	var out []Diagnostic
+	ran := map[string]bool{}
+	for _, pkg := range m.Pkgs {
+		if !matched[pkg.ImportPath] {
+			continue
+		}
+		for _, a := range opts.Analyzers {
+			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ErrAllow: opts.ErrAllow,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !table.Allows(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+
+	if len(opts.ModuleAnalyzers) > 0 {
+		sums := BuildSummaries(m.Pkgs)
+		for _, a := range opts.ModuleAnalyzers {
+			ran[a.Name] = true
+		}
+		for _, d := range RunModuleAnalyzers(m.Pkgs, sums, opts.ModuleAnalyzers, matched) {
+			if !table.Allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+
+	if opts.UnusedSuppressions {
+		out = append(out, table.Unused(ran)...)
+	}
+	SortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,1080 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the shared interprocedural layer under the concurrency
+// analyzers (goroutinelifecycle, lockorder, channeldiscipline). It builds,
+// once per lint run, a module-wide set of per-function summaries — which
+// locks a function acquires, which channels it sends on / receives from /
+// closes, which goroutines it spawns, which WaitGroups it touches, and
+// which buffered writers it fills or flushes — threaded through an
+// approximate branch-aware walk that tracks the set of mutexes held at
+// every event. A static call graph (direct calls and method calls resolved
+// through go/types; function values and interface calls are opaque) links
+// the summaries, and two fixpoints propagate facts across it:
+//
+//   - TransAcquire: the locks a function may acquire directly or through
+//     any chain of module-internal calls — the input to the lock-order
+//     graph;
+//   - TransChanOp / TransBufWrite / TransFlush: whether a call performs a
+//     blocking channel operation, buffers into a bufio.Writer, or flushes
+//     one — the inputs to channeldiscipline.
+//
+// Identity is canonical, not syntactic: `s.mu` in one package and `c.shard.mu`
+// in another both resolve to "kvstore.shardConn.mu" when the field is the
+// same, which is what lets summaries compose across packages. Struct fields
+// are keyed by their defining type; package-level vars by package; locals
+// and parameters by declaration site (so a closure capturing its parent's
+// channel shares the parent's key).
+//
+// The walk is deliberately approximate in the direction that keeps this
+// repo's conventions checkable: branches whose every path terminates drop
+// out of the merged state (so `mu.Lock(); if x { mu.Unlock(); return }` is
+// still "held" afterwards), surviving branches union their held sets, and
+// function literals that are merely passed as values contribute to the
+// call graph for lifecycle evidence but not to lock propagation (callbacks
+// in this codebase run after Unlock by convention — lockdiscipline keeps it
+// that way).
+
+// FuncID names one analysis unit: (*types.Func).FullName for declared
+// functions and methods, parent$litN for function literals.
+type FuncID string
+
+// EventKind classifies one summary event.
+type EventKind int
+
+// Event kinds recorded by the summary walker.
+const (
+	EvCall     EventKind = iota // module-internal call (Callee set)
+	EvAcquire                   // mutex Lock/RLock (Key = lock key)
+	EvSend                      // channel send (Key = channel key)
+	EvRecv                      // channel receive, range, or select comm
+	EvClose                     // close(ch)
+	EvSpawn                     // go statement (Callee = spawned unit or "")
+	EvBufWrite                  // buffered write into a bufio.Writer
+	EvFlush                     // bufio.Writer Flush
+	EvWGWait                    // WaitGroup.Wait (Key = wg key) — blocks
+	EvWGDone                    // WaitGroup.Done (deferred ones at deferredPos)
+)
+
+// Event is one recorded operation with the lock context it happens under.
+type Event struct {
+	Kind   EventKind
+	Pos    token.Pos
+	Key    string   // lock / channel / writer / waitgroup key
+	Callee FuncID   // for EvCall and EvSpawn ("" = unresolvable/external)
+	Ext    string   // display name of an external/unresolvable callee
+	Held   []string // sorted lock keys held at this event
+	// NonBlocking marks sends/receives inside a select that has a default
+	// clause — they cannot stall the goroutine.
+	NonBlocking bool
+	// Ref marks EvCall edges to function literals that are only passed as
+	// values (callbacks): part of the call graph for lifecycle evidence,
+	// excluded from lock propagation.
+	Ref bool
+	// WGGuard names a WaitGroup whose Add precedes and Done follows this
+	// event within the same function ("" if none) — the submitter-count
+	// idiom that makes a send safe against a Wait-then-close shutdown.
+	WGGuard string
+}
+
+// FuncSummary is the interprocedural fact sheet of one function or literal.
+type FuncSummary struct {
+	ID     FuncID
+	Name   string // human-readable ("(*kvstore.pipe).writeLoop", "...$1")
+	Pkg    *Package
+	Pos    token.Pos
+	Events []Event
+
+	WGAdd  map[string]token.Pos // WaitGroup.Add sites
+	WGDone map[string]bool      // WaitGroup.Done called (incl. deferred)
+	WGWait map[string]token.Pos // WaitGroup.Wait sites
+
+	RecvKeys  map[string]bool // channels received from ("#ctx" = ctx.Done)
+	CloseKeys map[string]token.Pos
+
+	// Fixpoint results (BuildSummaries fills these in):
+	TransAcquire map[string]token.Pos // locks acquired transitively
+	TransChanOp  *ChanOpRef           // a blocking chan op reachable via calls
+	TransWrites  map[string]bool      // writer keys buffered into, transitively
+	TransFlushes map[string]bool      // writer keys flushed, transitively
+}
+
+// ChanOpRef points at one blocking channel operation for diagnostics.
+type ChanOpRef struct {
+	Kind EventKind
+	Key  string
+	Fn   *FuncSummary
+	Pos  token.Pos
+}
+
+// Summaries is the module-wide index the concurrency analyzers query.
+type Summaries struct {
+	Fns   map[FuncID]*FuncSummary
+	Order []FuncID // deterministic iteration order
+
+	ChanBuffered map[string]bool           // channel key -> made with capacity > 0
+	ChanClosers  map[string][]*FuncSummary // channel key -> closing functions
+	ChanSenders  map[string][]*FuncSummary
+	ChanRecvers  map[string][]*FuncSummary
+	WGWaiters    map[string][]*FuncSummary // waitgroup key -> waiting functions
+	Callers      map[FuncID][]FuncID       // reverse call graph (incl. Ref and Spawn)
+}
+
+// Fn returns the summary for id (nil if unknown).
+func (s *Summaries) Fn(id FuncID) *FuncSummary { return s.Fns[id] }
+
+// BuildSummaries walks every package and computes the fixpoints. pkgs must
+// be type-checked; order does not matter.
+func BuildSummaries(pkgs []*Package) *Summaries {
+	s := &Summaries{
+		Fns:          map[FuncID]*FuncSummary{},
+		ChanBuffered: map[string]bool{},
+		ChanClosers:  map[string][]*FuncSummary{},
+		ChanSenders:  map[string][]*FuncSummary{},
+		ChanRecvers:  map[string][]*FuncSummary{},
+		WGWaiters:    map[string][]*FuncSummary{},
+		Callers:      map[FuncID][]FuncID{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				b := &sumBuilder{sums: s, pkg: pkg, walked: map[*ast.FuncLit]bool{}}
+				id, name := declID(pkg, fd)
+				b.walkFunc(id, name, fd.Name.Pos(), fd.Body)
+			}
+		}
+	}
+	s.index()
+	s.fixpoint()
+	return s
+}
+
+// declID derives the FuncID and display name of a declared function.
+func declID(pkg *Package, fd *ast.FuncDecl) (FuncID, string) {
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		full := obj.FullName()
+		return FuncID(full), shortName(full)
+	}
+	// Unresolvable (init funcs resolve fine; this is a safety net).
+	return FuncID(pkg.ImportPath + "." + fd.Name.Name), pkgBase(pkg.ImportPath) + "." + fd.Name.Name
+}
+
+// shortName compresses a FullName for human output: the module prefix of
+// every import path is dropped ("(*mummi/internal/kvstore.pipe).writeLoop"
+// -> "(*kvstore.pipe).writeLoop").
+func shortName(full string) string {
+	out := full
+	for {
+		i := strings.Index(out, "internal/")
+		if i < 0 {
+			return out
+		}
+		// Strip everything from the start of the path segment to internal/.
+		j := i
+		for j > 0 && out[j-1] != '(' && out[j-1] != '*' && out[j-1] != ' ' && out[j-1] != ',' {
+			j--
+		}
+		out = out[:j] + out[i+len("internal/"):]
+	}
+}
+
+func pkgBase(path string) string { return filepath.Base(path) }
+
+// index fills the module-wide reverse maps after all walks.
+func (s *Summaries) index() {
+	for id := range s.Fns {
+		s.Order = append(s.Order, id)
+	}
+	sort.Slice(s.Order, func(i, j int) bool { return s.Order[i] < s.Order[j] })
+	for _, id := range s.Order {
+		fn := s.Fns[id]
+		for k := range fn.RecvKeys {
+			s.ChanRecvers[k] = append(s.ChanRecvers[k], fn)
+		}
+		for k := range fn.CloseKeys {
+			s.ChanClosers[k] = append(s.ChanClosers[k], fn)
+		}
+		for k := range fn.WGWait {
+			s.WGWaiters[k] = append(s.WGWaiters[k], fn)
+		}
+		for _, ev := range fn.Events {
+			switch ev.Kind {
+			case EvSend:
+				s.ChanSenders[ev.Key] = appendUniqueFn(s.ChanSenders[ev.Key], fn)
+			case EvCall, EvSpawn:
+				if ev.Callee != "" {
+					s.Callers[ev.Callee] = append(s.Callers[ev.Callee], id)
+				}
+			}
+		}
+	}
+}
+
+func appendUniqueFn(list []*FuncSummary, fn *FuncSummary) []*FuncSummary {
+	for _, f := range list {
+		if f == fn {
+			return list
+		}
+	}
+	return append(list, fn)
+}
+
+// fixpoint propagates TransAcquire / TransChanOp / TransWrites /
+// TransFlushes over the call graph until stable. The graph is small (one
+// node per function in the module) so a simple iterate-until-quiet loop is
+// plenty.
+func (s *Summaries) fixpoint() {
+	for _, id := range s.Order {
+		fn := s.Fns[id]
+		fn.TransAcquire = map[string]token.Pos{}
+		fn.TransWrites = map[string]bool{}
+		fn.TransFlushes = map[string]bool{}
+		for _, ev := range fn.Events {
+			switch ev.Kind {
+			case EvAcquire:
+				if _, ok := fn.TransAcquire[ev.Key]; !ok {
+					fn.TransAcquire[ev.Key] = ev.Pos
+				}
+			case EvSend, EvRecv, EvWGWait:
+				// All three block indefinitely on another goroutine's
+				// progress; any of them reached under a held lock is a
+				// deadlock surface.
+				if !ev.NonBlocking && fn.TransChanOp == nil {
+					fn.TransChanOp = &ChanOpRef{Kind: ev.Kind, Key: ev.Key, Fn: fn, Pos: ev.Pos}
+				}
+			case EvBufWrite:
+				fn.TransWrites[ev.Key] = true
+			case EvFlush:
+				fn.TransFlushes[ev.Key] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range s.Order {
+			fn := s.Fns[id]
+			for _, ev := range fn.Events {
+				if ev.Kind != EvCall || ev.Callee == "" || ev.Ref {
+					continue
+				}
+				callee := s.Fns[ev.Callee]
+				if callee == nil {
+					continue
+				}
+				for k, p := range callee.TransAcquire {
+					if _, ok := fn.TransAcquire[k]; !ok {
+						// Attribute the transitive acquisition to the call site.
+						_ = p
+						fn.TransAcquire[k] = ev.Pos
+						changed = true
+					}
+				}
+				if fn.TransChanOp == nil && callee.TransChanOp != nil {
+					fn.TransChanOp = callee.TransChanOp
+					changed = true
+				}
+				// Writer facts keyed to the callee's own locals/params
+				// (position keys, "file.go:NN:name") are meaningless to the
+				// caller and are not propagated: the call site's argument
+				// detection already recorded the write under the caller's
+				// canonical key.
+				for k := range callee.TransWrites {
+					if !localKey(k) && !fn.TransWrites[k] {
+						fn.TransWrites[k] = true
+						changed = true
+					}
+				}
+				for k := range callee.TransFlushes {
+					if !localKey(k) && !fn.TransFlushes[k] {
+						fn.TransFlushes[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// CalleeClosure returns the summaries reachable from id through call,
+// spawn, and reference edges, within depth hops — the evidence-search
+// neighborhood for goroutinelifecycle.
+func (s *Summaries) CalleeClosure(id FuncID, depth int) []*FuncSummary {
+	seen := map[FuncID]bool{}
+	var out []*FuncSummary
+	var visit func(FuncID, int)
+	visit = func(cur FuncID, d int) {
+		if seen[cur] || d < 0 {
+			return
+		}
+		seen[cur] = true
+		fn := s.Fns[cur]
+		if fn == nil {
+			return
+		}
+		out = append(out, fn)
+		for _, ev := range fn.Events {
+			if (ev.Kind == EvCall || ev.Kind == EvSpawn) && ev.Callee != "" {
+				visit(ev.Callee, d-1)
+			}
+		}
+	}
+	visit(id, depth)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The walker
+
+// sumBuilder walks one declared function (and, recursively, its literals),
+// producing summaries. Lock facts are threaded exactly like lockdiscipline's
+// walker but merged by union, and every interesting operation is recorded
+// as an Event with the held set at that point.
+type sumBuilder struct {
+	sums *Summaries
+	pkg  *Package
+
+	cur    *FuncSummary
+	nLit   int
+	parent FuncID // enclosing unit while walking a literal
+	// walked prevents double-walking literals that a parent construct
+	// (call, defer, go) already analyzed before ast.Inspect descends.
+	walked map[*ast.FuncLit]bool
+}
+
+type sumFacts map[string]bool // held lock keys
+
+func (f sumFacts) clone() sumFacts {
+	out := make(sumFacts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func (f sumFacts) sorted() []string {
+	if len(f) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(f))
+	for k := range f {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walkFunc creates the summary for one unit and walks its body.
+func (b *sumBuilder) walkFunc(id FuncID, name string, pos token.Pos, body *ast.BlockStmt) {
+	prev, prevParent, prevN := b.cur, b.parent, b.nLit
+	b.cur = &FuncSummary{
+		ID: id, Name: name, Pkg: b.pkg, Pos: pos,
+		WGAdd:     map[string]token.Pos{},
+		WGDone:    map[string]bool{},
+		WGWait:    map[string]token.Pos{},
+		RecvKeys:  map[string]bool{},
+		CloseKeys: map[string]token.Pos{},
+	}
+	b.parent, b.nLit = id, 0
+	b.sums.Fns[id] = b.cur
+	b.walkStmts(body.List, sumFacts{})
+	b.cur, b.parent, b.nLit = prev, prevParent, prevN
+}
+
+func (b *sumBuilder) emit(ev Event, f sumFacts) {
+	ev.Held = f.sorted()
+	b.cur.Events = append(b.cur.Events, ev)
+}
+
+// walkStmts threads facts through a list; the bool reports definite exit.
+func (b *sumBuilder) walkStmts(stmts []ast.Stmt, f sumFacts) (sumFacts, bool) {
+	for _, s := range stmts {
+		var term bool
+		f, term = b.walkStmt(s, f)
+		if term {
+			return f, true
+		}
+	}
+	return f, false
+}
+
+func (b *sumBuilder) walkStmt(s ast.Stmt, f sumFacts) (sumFacts, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := b.lockOp(call); ok {
+				b.applyLock(f, key, op, call.Pos())
+				return f, false
+			}
+			if isPanic(call) {
+				b.scanExpr(s.X, f)
+				return f, true
+			}
+		}
+		b.scanExpr(s.X, f)
+	case *ast.DeferStmt:
+		b.applyDefer(f, s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.scanExpr(r, f)
+		}
+		return f, true
+	case *ast.BranchStmt:
+		return f, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f, _ = b.walkStmt(s.Init, f)
+		}
+		b.scanExpr(s.Cond, f)
+		thenF, thenT := b.walkStmts(s.Body.List, f.clone())
+		var branches []sumBranch
+		branches = append(branches, sumBranch{thenF, thenT})
+		if s.Else != nil {
+			elseF, elseT := b.walkStmt(s.Else, f.clone())
+			branches = append(branches, sumBranch{elseF, elseT})
+		} else {
+			branches = append(branches, sumBranch{f, false})
+		}
+		return mergeSum(branches)
+	case *ast.BlockStmt:
+		return b.walkStmts(s.List, f)
+	case *ast.LabeledStmt:
+		return b.walkStmt(s.Stmt, f)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f, _ = b.walkStmt(s.Init, f)
+		}
+		if s.Tag != nil {
+			b.scanExpr(s.Tag, f)
+		}
+		return b.walkCases(s.Body, f)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f, _ = b.walkStmt(s.Init, f)
+		}
+		return b.walkCases(s.Body, f)
+	case *ast.SelectStmt:
+		return b.walkSelect(s, f)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f, _ = b.walkStmt(s.Init, f)
+		}
+		if s.Cond != nil {
+			b.scanExpr(s.Cond, f)
+		}
+		bodyF, _ := b.walkStmts(s.Body.List, f.clone())
+		return unionFacts(f, bodyF), false
+	case *ast.RangeStmt:
+		if t := b.typeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				key := b.exprKey(s.X)
+				b.cur.RecvKeys[key] = true
+				b.emit(Event{Kind: EvRecv, Pos: s.For, Key: key}, f)
+			}
+		}
+		b.scanExpr(s.X, f)
+		bodyF, _ := b.walkStmts(s.Body.List, f.clone())
+		return unionFacts(f, bodyF), false
+	case *ast.SendStmt:
+		b.recordSend(s, f, false)
+		b.scanExpr(s.Value, f)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			b.scanExpr(e, f)
+		}
+		b.recordChanMakes(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						b.scanExpr(v, f)
+						if i < len(vs.Names) {
+							b.recordChanMakeTo(vs.Names[i], v)
+						}
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		b.recordSpawn(s, f)
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+	}
+	return f, false
+}
+
+type sumBranch struct {
+	facts sumFacts
+	term  bool
+}
+
+// mergeSum unions the surviving branches (terminated branches drop out).
+func mergeSum(branches []sumBranch) (sumFacts, bool) {
+	var out sumFacts
+	for _, br := range branches {
+		if br.term {
+			continue
+		}
+		if out == nil {
+			out = br.facts
+		} else {
+			out = unionFacts(out, br.facts)
+		}
+	}
+	if out == nil {
+		return sumFacts{}, true
+	}
+	return out, false
+}
+
+func unionFacts(a, b sumFacts) sumFacts {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (b *sumBuilder) walkCases(body *ast.BlockStmt, f sumFacts) (sumFacts, bool) {
+	var branches []sumBranch
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bf, bt := b.walkStmts(cc.Body, f.clone())
+		branches = append(branches, sumBranch{bf, bt})
+	}
+	if !hasDefault {
+		branches = append(branches, sumBranch{f, false})
+	}
+	return mergeSum(branches)
+}
+
+func (b *sumBuilder) walkSelect(s *ast.SelectStmt, f sumFacts) (sumFacts, bool) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	var branches []sumBranch
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cf := f.clone()
+		if cc.Comm != nil {
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				b.recordSendWith(comm, cf, hasDefault)
+			case *ast.ExprStmt:
+				b.recordRecvExpr(comm.X, cf, hasDefault)
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					b.recordRecvExpr(rhs, cf, hasDefault)
+				}
+			}
+		}
+		bf, bt := b.walkStmts(cc.Body, cf)
+		branches = append(branches, sumBranch{bf, bt})
+	}
+	if !hasDefault {
+		branches = append(branches, sumBranch{f, false})
+	}
+	return mergeSum(branches)
+}
+
+func (b *sumBuilder) recordSend(s *ast.SendStmt, f sumFacts, nonBlocking bool) {
+	b.recordSendWith(s, f, nonBlocking)
+}
+
+func (b *sumBuilder) recordSendWith(s *ast.SendStmt, f sumFacts, nonBlocking bool) {
+	key := b.exprKey(s.Chan)
+	b.emit(Event{Kind: EvSend, Pos: s.Arrow, Key: key, NonBlocking: nonBlocking}, f)
+}
+
+// recordRecvExpr registers `<-ch` appearing as a select communication.
+func (b *sumBuilder) recordRecvExpr(e ast.Expr, f sumFacts, nonBlocking bool) {
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return
+	}
+	key := b.recvKeyOf(ue.X)
+	b.cur.RecvKeys[key] = true
+	b.emit(Event{Kind: EvRecv, Pos: ue.OpPos, Key: key, NonBlocking: nonBlocking}, f)
+}
+
+// recvKeyOf keys the operand of a receive; <-ctx.Done() maps to "#ctx".
+func (b *sumBuilder) recvKeyOf(x ast.Expr) string {
+	if call, ok := ast.Unparen(x).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if fn, ok := b.pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "context" {
+				return "#ctx"
+			}
+		}
+	}
+	return b.exprKey(x)
+}
+
+// recordSpawn registers a go statement and resolves its target.
+func (b *sumBuilder) recordSpawn(s *ast.GoStmt, f sumFacts) {
+	for _, a := range s.Call.Args {
+		b.scanExpr(a, f)
+	}
+	switch fun := ast.Unparen(s.Call.Fun).(type) {
+	case *ast.FuncLit:
+		litID := b.walkLit(fun)
+		b.emit(Event{Kind: EvSpawn, Pos: s.Go, Callee: litID}, f)
+	default:
+		id, ext := b.resolveCallee(s.Call)
+		b.emit(Event{Kind: EvSpawn, Pos: s.Go, Callee: id, Ext: ext}, f)
+	}
+}
+
+// walkLit analyzes a function literal as its own unit (empty entry facts)
+// and returns its FuncID.
+func (b *sumBuilder) walkLit(fl *ast.FuncLit) FuncID {
+	b.walked[fl] = true
+	b.nLit++
+	litID := FuncID(fmt.Sprintf("%s$%d", b.parent, b.nLit))
+	name := fmt.Sprintf("%s$%d", b.cur.Name, b.nLit)
+	parentCur, parentN := b.cur, b.nLit
+	b.walkFunc(litID, name, fl.Pos(), fl.Body)
+	b.cur, b.nLit = parentCur, parentN
+	return litID
+}
+
+// applyDefer mirrors lockdiscipline: deferred unlocks keep the lock "held"
+// for the remainder of the body (it really is), deferred Done/close are
+// recorded as end-of-function facts, and other deferred calls become
+// lock-free call edges (they run at return, usually after unlocks).
+func (b *sumBuilder) applyDefer(f sumFacts, d *ast.DeferStmt) {
+	if key, op, ok := b.lockOp(d.Call); ok {
+		// A deferred Lock would be bizarre; deferred Unlock keeps facts as-is.
+		_ = key
+		_ = op
+		return
+	}
+	if wgKey, op, ok := b.wgOp(d.Call); ok {
+		b.applyWG(wgKey, op, d.Call.Pos(), deferredPos, f)
+		return
+	}
+	if isCloseCall(d.Call) && len(d.Call.Args) == 1 {
+		key := b.exprKey(d.Call.Args[0])
+		b.cur.CloseKeys[key] = d.Call.Pos()
+		b.emit(Event{Kind: EvClose, Pos: d.Call.Pos(), Key: key}, sumFacts{})
+		return
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		litID := b.walkLit(fl)
+		b.emit(Event{Kind: EvCall, Pos: d.Call.Pos(), Callee: litID}, sumFacts{})
+		return
+	}
+	if id, ext := b.resolveCallee(d.Call); id != "" || ext != "" {
+		b.emit(Event{Kind: EvCall, Pos: d.Call.Pos(), Callee: id, Ext: ext}, sumFacts{})
+	}
+}
+
+// deferredPos is the sentinel position for facts established by defer: they
+// take effect after every other position in the function.
+const deferredPos = token.Pos(1 << 30)
+
+// scanExpr records calls, receives, literals, and buffered writes inside an
+// expression evaluated under facts f.
+func (b *sumBuilder) scanExpr(e ast.Expr, f sumFacts) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if b.walked[n] {
+				return false
+			}
+			litID := b.walkLit(n)
+			// Passed or assigned, not invoked here: reference edge only.
+			b.emit(Event{Kind: EvCall, Pos: n.Pos(), Callee: litID, Ref: true}, f)
+			return false
+		case *ast.CompositeLit:
+			b.registerCompositeChans(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				key := b.recvKeyOf(n.X)
+				b.cur.RecvKeys[key] = true
+				b.emit(Event{Kind: EvRecv, Pos: n.OpPos, Key: key}, f)
+			}
+		case *ast.CallExpr:
+			b.recordCall(n, f)
+		}
+		return true
+	})
+}
+
+// recordCall classifies one call expression: lock ops are handled by the
+// statement walker (they mutate facts); everything else becomes events.
+func (b *sumBuilder) recordCall(call *ast.CallExpr, f sumFacts) {
+	if _, _, ok := b.lockOp(call); ok {
+		return // handled structurally where it appears as a statement
+	}
+	if key, op, ok := b.wgOp(call); ok {
+		b.applyWG(key, op, call.Pos(), call.Pos(), f)
+		return
+	}
+	if isCloseCall(call) && len(call.Args) == 1 {
+		key := b.exprKey(call.Args[0])
+		b.cur.CloseKeys[key] = call.Pos()
+		b.emit(Event{Kind: EvClose, Pos: call.Pos(), Key: key}, f)
+		return
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately-invoked literal: real call edge under current facts.
+		litID := b.walkLit(fl)
+		b.emit(Event{Kind: EvCall, Pos: call.Pos(), Callee: litID}, f)
+		return
+	}
+	if wkey, isFlush, ok := b.bufWriterOp(call); ok {
+		kind := EvBufWrite
+		if isFlush {
+			kind = EvFlush
+		}
+		b.emit(Event{Kind: kind, Pos: call.Pos(), Key: wkey}, f)
+		// A write helper taking the writer as an argument is also a module
+		// call; fall through so the call edge is recorded too.
+	}
+	if id, ext := b.resolveCallee(call); id != "" {
+		b.emit(Event{Kind: EvCall, Pos: call.Pos(), Callee: id, Ext: ext}, f)
+	}
+}
+
+// resolveCallee maps a call to a module-internal FuncID, or an external
+// display name.
+func (b *sumBuilder) resolveCallee(call *ast.CallExpr) (FuncID, string) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = b.pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = b.pkg.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	full := fn.FullName()
+	if fn.Pkg() != nil && isModulePath(fn.Pkg().Path()) {
+		return FuncID(full), shortName(full)
+	}
+	return "", full
+}
+
+// isModulePath reports whether path is inside the module under analysis.
+// The module path itself varies (real repo vs. golden fixtures), so the
+// test is structural: anything that is not a stdlib path. Stdlib paths
+// never contain a dot in their first segment, and the golden fixtures use
+// "lab/..." which has no dot either — so the discriminator is: a path is
+// internal iff some loaded package declared it. That check happens at
+// lookup time (Summaries.Fns), so here every non-stdlib-shaped candidate
+// is allowed through; unresolved IDs simply have no summary.
+func isModulePath(path string) bool {
+	if path == "" {
+		return false
+	}
+	// Stdlib heuristic: single-segment or golang.org/x paths are external.
+	switch strings.Split(path, "/")[0] {
+	case "archive", "bufio", "bytes", "cmp", "compress", "container", "context",
+		"crypto", "database", "debug", "embed", "encoding", "errors", "expvar",
+		"flag", "fmt", "go", "hash", "html", "image", "index", "io", "iter",
+		"log", "maps", "math", "mime", "net", "os", "path", "plugin", "reflect",
+		"regexp", "runtime", "slices", "sort", "strconv", "strings", "structs",
+		"sync", "syscall", "testing", "text", "time", "unicode", "unique",
+		"unsafe", "weak", "golang.org":
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Operation classifiers
+
+// lockOp recognizes mutex Lock/RLock/Unlock/RUnlock (sync package).
+func (b *sumBuilder) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := b.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return b.exprKey(sel.X), sel.Sel.Name, true
+}
+
+func (b *sumBuilder) applyLock(f sumFacts, key, op string, pos token.Pos) {
+	switch op {
+	case "Lock", "RLock":
+		b.emit(Event{Kind: EvAcquire, Pos: pos, Key: key}, f)
+		f[key] = true
+	case "Unlock", "RUnlock":
+		delete(f, key)
+	}
+}
+
+// wgOp recognizes WaitGroup Add/Done/Wait.
+func (b *sumBuilder) wgOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return "", "", false
+	}
+	fn, isFn := b.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !strings.Contains(recv.Type().String(), "WaitGroup") {
+		return "", "", false
+	}
+	return b.exprKey(sel.X), sel.Sel.Name, true
+}
+
+func (b *sumBuilder) applyWG(key, op string, pos, effPos token.Pos, f sumFacts) {
+	switch op {
+	case "Add":
+		if _, ok := b.cur.WGAdd[key]; !ok {
+			b.cur.WGAdd[key] = pos
+		}
+	case "Done":
+		b.cur.WGDone[key] = true
+		// Recorded with its effective position (deferred Done runs at
+		// return) so WG-guarded sends can check ordering.
+		b.emit(Event{Kind: EvWGDone, Pos: effPos, Key: key}, f)
+	case "Wait":
+		if _, ok := b.cur.WGWait[key]; !ok {
+			b.cur.WGWait[key] = pos
+		}
+		b.emit(Event{Kind: EvWGWait, Pos: pos, Key: key}, f)
+	}
+}
+
+// bufWriterOp classifies calls that touch a *bufio.Writer: a method call on
+// one (Flush vs. the Write* family) or a helper call taking one as an
+// argument (counted as a buffered write into it).
+func (b *sumBuilder) bufWriterOp(call *ast.CallExpr) (key string, isFlush, ok bool) {
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		if t := b.typeOf(sel.X); t != nil && isBufioWriter(t) {
+			return b.exprKey(sel.X), sel.Sel.Name == "Flush", true
+		}
+	}
+	for _, arg := range call.Args {
+		if t := b.typeOf(arg); t != nil && isBufioWriter(t) {
+			return b.exprKey(arg), false, true
+		}
+	}
+	return "", false, false
+}
+
+func isBufioWriter(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == "Writer"
+}
+
+func isCloseCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "close"
+}
+
+// recordChanMakes registers `x := make(chan T, n)` buffered-ness.
+func (b *sumBuilder) recordChanMakes(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Rhs {
+		b.recordChanMakeTo(as.Lhs[i], as.Rhs[i])
+	}
+}
+
+func (b *sumBuilder) recordChanMakeTo(lhs, rhs ast.Expr) {
+	buffered, ok := b.chanMake(rhs)
+	if !ok {
+		return
+	}
+	key := b.exprKey(lhs)
+	if buffered {
+		b.sums.ChanBuffered[key] = true
+	}
+}
+
+// chanMake reports whether rhs is make(chan ...) and whether it is buffered
+// (a capacity argument that is not the constant 0).
+func (b *sumBuilder) chanMake(rhs ast.Expr) (buffered, ok bool) {
+	call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "make" || len(call.Args) == 0 {
+		return false, false
+	}
+	if t := b.typeOf(call); t == nil {
+		return false, false
+	} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return false, true
+	}
+	if tv, okTV := b.pkg.Info.Types[call.Args[1]]; okTV && tv.Value != nil && tv.Value.String() == "0" {
+		return false, true
+	}
+	return true, true
+}
+
+// registerCompositeChans scans a composite literal for channel-typed field
+// values built with make — &pipe{reqCh: make(chan *call, n)}.
+func (b *sumBuilder) registerCompositeChans(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		buffered, isMake := b.chanMake(kv.Value)
+		if !isMake {
+			continue
+		}
+		keyIdent, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		// Key by the struct type owning the field.
+		if t := b.typeOf(cl); t != nil {
+			if k := typeFieldKey(t, keyIdent.Name); k != "" && buffered {
+				b.sums.ChanBuffered[k] = true
+			}
+		}
+	}
+}
+
+func (b *sumBuilder) typeOf(e ast.Expr) types.Type {
+	if b.pkg.Info == nil {
+		return nil
+	}
+	return b.pkg.Info.TypeOf(e)
+}
+
+// ---------------------------------------------------------------------------
+// Canonical keys
+
+// exprKey canonicalizes the identity of a lock, channel, WaitGroup, or
+// writer expression so that summaries compose across functions and
+// packages. Struct fields key by defining type ("kvstore.pipe.reqCh"),
+// package-level vars by package, locals and params by declaration site.
+func (b *sumBuilder) exprKey(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if base := b.typeOf(e.X); base != nil {
+			if k := typeFieldKey(base, e.Sel.Name); k != "" {
+				return k
+			}
+		}
+		return types.ExprString(e)
+	case *ast.Ident:
+		obj := b.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = b.pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// Declaration-site key: a closure capturing its parent's local
+			// resolves the same *types.Var, hence the same key.
+			pos := b.pkg.Fset.Position(v.Pos())
+			return fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, v.Name())
+		}
+		return e.Name
+	case *ast.StarExpr:
+		return b.exprKey(e.X)
+	case *ast.IndexExpr:
+		return b.exprKey(e.X) + "[]"
+	}
+	return types.ExprString(e)
+}
+
+// localKey reports whether a canonical key names a local or parameter
+// (declaration-site keyed, "file.go:NN:name") rather than a struct field
+// or package-level variable.
+func localKey(k string) bool { return strings.Contains(k, ":") }
+
+// typeFieldKey keys a field of a named struct type: "pkg.Type.field".
+// Returns "" if the base type is not a named struct with that field.
+func typeFieldKey(base types.Type, field string) string {
+	for {
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			obj := named.Obj()
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = obj.Pkg().Name() + "."
+			}
+			return pkg + obj.Name() + "." + field
+		}
+	}
+	// The selector may be a method or promoted field; fall back to the type.
+	obj := named.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Name() + "."
+	}
+	return pkg + obj.Name() + "." + field
+}

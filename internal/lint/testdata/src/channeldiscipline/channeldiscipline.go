@@ -1,0 +1,150 @@
+// Package pipeline exercises the channeldiscipline analyzer: blocking
+// channel ops under a held mutex, sends racing a close, and the
+// flush-before-block discipline of pipelined writers.
+package pipeline
+
+import (
+	"bufio"
+	"sync"
+)
+
+// ---- rule 1: blocking channel ops under a held mutex ----
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) sendLocked(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "blocking send on channel pipeline.box.ch while holding pipeline.box.mu"
+	b.mu.Unlock()
+}
+
+func (b *box) recvOne() int {
+	return <-b.ch
+}
+
+// The same bug one frame removed: the callee blocks on the channel.
+func (b *box) lockedCall() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recvOne() // want "a blocking operation under the lock"
+}
+
+// trySendLocked cannot stall: select-with-default is non-blocking.
+func (b *box) trySendLocked(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- rule 2: sends racing a close ----
+
+type racer struct {
+	out chan int
+}
+
+// raceSend has no ordering guard against shutdown's close: a lost race
+// panics with "send on closed channel".
+func (r *racer) raceSend(v int) {
+	r.out <- v // want "no ordering guard"
+}
+
+func (r *racer) shutdown() {
+	close(r.out)
+}
+
+// wgpipe brackets every send with a submitter count the closer waits out —
+// the async-client discipline; allowed.
+type wgpipe struct {
+	reqCh chan int
+	subWg sync.WaitGroup
+}
+
+func (p *wgpipe) submit(v int) {
+	p.subWg.Add(1)
+	p.reqCh <- v
+	p.subWg.Done()
+}
+
+func (p *wgpipe) close() {
+	p.subWg.Wait()
+	close(p.reqCh)
+}
+
+// mbox serializes sends and the close under one mutex; allowed.
+type mbox struct {
+	mu     sync.Mutex
+	ch     chan int
+	closed bool
+}
+
+func (m *mbox) trySend(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	select {
+	case m.ch <- v:
+	default:
+	}
+}
+
+func (m *mbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	close(m.ch)
+}
+
+// owner only sends from the goroutine that also closes; allowed.
+type owner struct {
+	inflight chan int
+}
+
+func (o *owner) writeLoop() {
+	for i := 0; i < 4; i++ {
+		o.inflight <- i
+	}
+	close(o.inflight)
+}
+
+// ---- rule 3: flush-before-block (the pipelined-kvstore deadlock) ----
+
+type wpipe struct {
+	w        *bufio.Writer
+	inflight chan int
+}
+
+func newWpipe(w *bufio.Writer) *wpipe {
+	return &wpipe{w: w, inflight: make(chan int, 8)}
+}
+
+// writeOneBad blocks on the window with bytes still buffered: the replies
+// that free slots can only arrive for commands that reached the wire.
+func (p *wpipe) writeOneBad(v int) {
+	_ = p.w.WriteByte(byte(v))
+	p.inflight <- v // want "unflushed buffered writes"
+}
+
+// writeOneGood is the blessed idiom: try non-blocking, flush, then block.
+func (p *wpipe) writeOneGood(v int) {
+	_ = p.w.WriteByte(byte(v))
+	select {
+	case p.inflight <- v:
+	default:
+		p.flush()
+		p.inflight <- v
+	}
+}
+
+func (p *wpipe) flush() {
+	_ = p.w.Flush()
+}

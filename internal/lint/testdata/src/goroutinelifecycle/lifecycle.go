@@ -1,0 +1,110 @@
+// Package lifecycle exercises the goroutinelifecycle analyzer: every go
+// statement must have a provable join path (WaitGroup matched by a Wait,
+// ctx.Done receive, or a close-signaled channel).
+package lifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+// ---- bad: no join evidence anywhere in the spawned unit ----
+
+func spawnLeaky() {
+	go leaky() // want "no provable shutdown path"
+}
+
+func leaky() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// The literal ranges over a channel nobody closes: still unjoinable.
+func spawnLitLeaky(c chan int) {
+	go func() { // want "no provable shutdown path"
+		for v := range c {
+			_ = v
+		}
+	}()
+}
+
+// A dynamic function value cannot be audited at all.
+func spawnDynamic(f func()) {
+	go f() // want "cannot be resolved statically"
+}
+
+// ---- good: the WaitGroup join idiom ----
+
+type worker struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (w *worker) start() {
+	w.wg.Add(1)
+	go w.run()
+}
+
+func (w *worker) run() {
+	defer w.wg.Done()
+	w.n++
+}
+
+func (w *worker) stop() {
+	w.wg.Wait()
+}
+
+// ---- good: context cancellation ----
+
+func startWatch(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ---- good: draining a channel that stop() closes ----
+
+type queue struct {
+	jobs chan int
+	sum  int
+}
+
+func newQueue() *queue {
+	q := &queue{jobs: make(chan int, 8)}
+	go q.drain()
+	return q
+}
+
+func (q *queue) drain() {
+	for j := range q.jobs {
+		q.sum += j
+	}
+}
+
+func (q *queue) stop() {
+	close(q.jobs)
+}
+
+// ---- good: closing a done channel that wait() receives from ----
+
+type svc struct {
+	done chan struct{}
+}
+
+func startSvc() *svc {
+	s := &svc{done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+func (s *svc) loop() {
+	defer close(s.done)
+}
+
+func (s *svc) wait() {
+	<-s.done
+}

@@ -1,0 +1,52 @@
+// Package a is the callee side of the interprocedural golden tests: its
+// locks, channels, and blocking helpers are consumed by package b, so
+// every finding (and every proof of safety) over there depends on summary
+// propagation across the package boundary.
+package a
+
+import "sync"
+
+// MuA and MuB are the two locks of the cross-package order cycle.
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockB acquires B; package b calls this while holding A.
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}
+
+// InverseOrder takes B then A directly — the other half of the cycle. The
+// cycle itself is reported in package b, at its first witness edge.
+func InverseOrder() {
+	MuB.Lock()
+	MuA.Lock()
+	MuA.Unlock()
+	MuB.Unlock()
+}
+
+// Recv blocks receiving; package b calls it under a lock.
+func Recv(ch chan int) int {
+	return <-ch
+}
+
+// Queue's drain goroutine is join-evidenced by Close — here — while the
+// spawn lives in package b.
+type Queue struct {
+	Jobs chan int
+	sum  int
+}
+
+// Drain consumes Jobs until Close.
+func (q *Queue) Drain() {
+	for j := range q.Jobs {
+		q.sum += j
+	}
+}
+
+// Close signals Drain to exit.
+func (q *Queue) Close() {
+	close(q.Jobs)
+}

@@ -1,0 +1,64 @@
+// Package lockorder exercises the module-wide lock-acquisition-order
+// graph: inverted acquisition orders form a cycle (deadlock risk), and a
+// call chain that re-enters a held lock is a guaranteed self-deadlock.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// abPath takes a then b; with baPath below this closes an order cycle.
+// The cycle is reported once, at the witness of its first edge.
+func (p *pair) abPath() {
+	p.a.Lock()
+	p.b.Lock() // want "lock-order cycle"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// baPath takes b then a — the inversion.
+func (p *pair) baPath() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// doubled re-enters its own (non-reentrant) lock through get.
+func (c *counter) doubled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get() * 2 // want "guaranteed self-deadlock"
+}
+
+type nested struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+// incr nests consistently (outer before inner, everywhere): no cycle.
+func (n *nested) incr() {
+	n.outer.Lock()
+	n.inner.Lock()
+	n.n++
+	n.inner.Unlock()
+	n.outer.Unlock()
+}

@@ -13,8 +13,9 @@ import (
 //	/metrics       sorted "name value" text lines
 //	/metrics.json  the full Snapshot as JSON
 type MetricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // StartMetricsServer listens on addr (e.g. "127.0.0.1:9090", or ":0" for
@@ -39,15 +40,22 @@ func StartMetricsServer(addr string, t *Telemetry) (*MetricsServer, error) {
 		fmt.Fprintf(w, "%s\n", b)
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv, done: make(chan struct{})}
 	go func() {
+		defer close(ms.done)
 		//lint:allow errdiscipline -- Serve always returns a non-nil error on Close; the shutdown path is the error
 		srv.Serve(ln)
 	}()
-	return &MetricsServer{ln: ln, srv: srv}, nil
+	return ms, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *MetricsServer) Close() error { return s.srv.Close() }
+// Close shuts the server down and joins the serve goroutine, so no request
+// handler can observe a half-torn-down registry after Close returns.
+func (s *MetricsServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -50,3 +50,26 @@ func TestMetricsServer(t *testing.T) {
 		t.Fatalf("/metrics.json counters: %+v", snap.Counters)
 	}
 }
+
+// TestMetricsServerCloseJoinsServeGoroutine is the regression test for the
+// unjoined serve goroutine the goroutinelifecycle analyzer surfaced: Close
+// used to return while srv.Serve could still be running, so a request
+// handler could observe state torn down after Close. Close must not return
+// until the serve goroutine has exited (done closed).
+func TestMetricsServerCloseJoinsServeGoroutine(t *testing.T) {
+	srv, err := StartMetricsServer("127.0.0.1:0", Nop())
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case <-srv.done:
+	default:
+		t.Fatal("Close returned before the serve goroutine exited")
+	}
+	// A second Close must not hang on the already-closed done channel.
+	//lint:allow errdiscipline -- only the non-hanging property is under test
+	srv.Close()
+}

@@ -1,19 +1,16 @@
 #!/bin/sh
 # Minimal CI gate: static analysis first (vet + the project's own analyzer
-# suite, cmd/mummi-lint), then build, the full test suite, and the
-# race-detector pass over the packages that exercise the parallel selector
-# engine and the coordination layers. Mirrors the Makefile targets; stdlib
-# toolchain only, no external dependencies.
+# suite, cmd/mummi-lint — per-package and interprocedural, with the
+# stale-suppression audit and a wall-clock budget), then build, the full
+# test suite, and the race-detector pass over the whole module. Mirrors the
+# Makefile targets; stdlib toolchain only, no external dependencies.
 set -eux
 
 go vet ./...
-go run ./cmd/mummi-lint ./...
+go run ./cmd/mummi-lint -unused-suppressions -budget 60s ./...
 go build ./...
 go test ./...
-go test -race ./internal/dynim/... ./internal/knn/... ./internal/parallel/... \
-	./internal/core/... ./internal/sched/... ./internal/kvstore/... \
-	./internal/feedback/... ./internal/telemetry/... \
-	./internal/faults/... ./internal/retry/... ./internal/campaign/...
+go test -race ./...
 
 # Bench-diff gate: the committed perf-trajectory reports (BENCH_*.json)
 # must stay coherent — deterministic replay metrics identical between the
