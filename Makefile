@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-diff kvbench vet lint trace chaos ci
+.PHONY: build test race bench bench-micro bench-diff kvbench vet lint trace chaos matrix matrix-update scenarios ci
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,25 @@ trace:
 chaos:
 	$(GO) run ./cmd/mummi-sim campaign -scale 0.02 -seed 7 \
 		-faults 'store-transient-error:0.10;store-latency-spike:0.05;store-permanent-error:0.01;node-crash:8/day;job-hang:12/day;wm-crash:2/day'
+
+# Scenario matrix: replay every committed workflow instance under
+# scenarios/ and gate each against its committed
+# BENCH_scenario_<name>.json ledger — deterministic metrics exact, timing
+# thresholded. See docs/SCENARIOS.md.
+matrix:
+	$(GO) run ./scripts/matrix
+
+# Rewrite the committed per-scenario ledgers after an intentional
+# behaviour change; commit the resulting diff alongside the change that
+# caused it.
+matrix-update:
+	$(GO) run ./scripts/matrix -update
+
+# Regenerate the committed scenario files from the named catalog
+# (internal/trace/catalog.go). TestCommittedScenariosMatchCatalog pins
+# scenarios/*.trace.json to exactly this output.
+scenarios:
+	$(GO) run ./cmd/mummi-sim trace gen -catalog -outdir scenarios
 
 ci:
 	./scripts/ci.sh

@@ -16,11 +16,17 @@
 // object is written to stdout: {"schema": "mummi-bench/v1", ...,
 // "experiments": {"<name>": {"<metric>": <number>, ...}}}. Durations are
 // reported in seconds. Redirecting that object to a BENCH_<exp>.json file
-// is the repo's perf-trajectory workflow (see EXPERIMENTS.md).
+// is the repo's perf-trajectory workflow (see EXPERIMENTS.md). The report
+// shape and its comparison semantics live in internal/benchfmt.
+//
+// With -trace-in the shared campaign replay comes from a workflow instance
+// (docs/SCENARIOS.md) instead of -scale/-seed/-faults; the systems
+// experiments keep their own flags. (-trace, without the -in, is the
+// telemetry flag for Chrome trace output — an older surface that keeps its
+// name.)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +34,10 @@ import (
 	"strings"
 	"time"
 
+	"mummi/internal/benchfmt"
 	"mummi/internal/campaign"
-	"mummi/internal/faults"
 	"mummi/internal/telemetry"
+	"mummi/internal/trace"
 )
 
 func main() {
@@ -43,28 +50,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object of per-experiment metrics instead of text")
 	faultSpec := flag.String("faults", "",
 		"chaos plan for the campaign replay: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md)")
+	traceIn := flag.String("trace-in", "",
+		"workflow instance for the campaign replay (replaces -scale/-seed/-faults for it; see docs/SCENARIOS.md)")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, *faultSpec, &tf); err != nil {
+	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, *faultSpec, *traceIn, &tf); err != nil {
 		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// report is the -json output shape: one flat numeric metric map per
-// experiment, durations in seconds, so perf trajectories diff cleanly.
-type report struct {
-	Schema      string                        `json:"schema"`
-	Scale       float64                       `json:"scale"`
-	Seed        int64                         `json:"seed"`
-	Full        bool                          `json:"full"`
-	Workers     int                           `json:"workers"`
-	Experiments map[string]map[string]float64 `json:"experiments"`
-}
-
-func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, faultSpec string, tf *telemetry.Flags) error {
+func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, faultSpec, traceIn string, tf *telemetry.Flags) error {
 	valid := map[string]bool{"all": true, "table1": true, "fig3": true,
 		"fig4": true, "fig5": true, "fig6": true, "counts": true,
 		"fig7": true, "fig8": true, "fluxfix": true, "taridx": true,
@@ -79,16 +77,13 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 	}
 	all := want["all"]
 
-	rep := report{Schema: "mummi-bench/v1", Scale: scale, Seed: seed, Full: full,
-		Workers: workers, Experiments: map[string]map[string]float64{}}
+	rep := benchfmt.New(scale, seed, full, workers)
 	section := func(name, body string) {
 		if !jsonOut {
 			fmt.Printf("== %s ==\n%s\n", name, body)
 		}
 	}
-	record := func(name string, metrics map[string]float64) {
-		rep.Experiments[name] = metrics
-	}
+	record := rep.Record
 
 	needCampaign := all || want["table1"] || want["fig3"] || want["fig4"] ||
 		want["fig5"] || want["fig6"] || want["counts"]
@@ -107,31 +102,51 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 
 	var res *campaign.Result
 	if needCampaign {
-		cfg := campaign.DefaultConfig()
-		cfg.Seed = seed
-		cfg.SelectorWorkers = workers
-		cfg.Telemetry = tel
-		if faultSpec != "" {
-			plan, err := faults.ParseFlag(faultSpec)
+		var cfg campaign.Config
+		if traceIn != "" {
+			if faultSpec != "" {
+				return fmt.Errorf("-trace-in carries its own fault plan; drop -faults")
+			}
+			b, err := os.ReadFile(traceIn)
 			if err != nil {
 				return err
 			}
-			if plan.Seed == 0 {
-				plan.Seed = seed
+			t, err := trace.Parse(b)
+			if err != nil {
+				return fmt.Errorf("%s: %w", traceIn, err)
 			}
-			cfg.Faults = plan
-			// Store faults need feedback I/O to have something to hit.
-			cfg.FeedbackEvery = 30 * time.Minute
+			if cfg, err = t.Config(); err != nil {
+				return err
+			}
+			cfg.SelectorWorkers = workers
+			// The report must identify the replay it measured: the scenario's
+			// seed, and scale 0 (the paper-schedule scale factor did not apply).
+			rep.Scale, rep.Seed = 0, cfg.Seed
+			if !jsonOut {
+				fmt.Printf("campaign replay from scenario %s (%s)\n", t.Name, t.Description)
+			}
+		} else {
+			feedbackEvery := time.Duration(0)
+			if faultSpec != "" {
+				// Store faults need feedback I/O to have something to hit.
+				feedbackEvery = 30 * time.Minute
+			}
+			opts := campaign.Options{
+				Scale: scale, Seed: seed, Workers: workers,
+				FeedbackEvery: feedbackEvery, FaultSpec: faultSpec,
+			}
+			var err error
+			if cfg, err = opts.Build(); err != nil {
+				return err
+			}
 		}
+		cfg.Telemetry = tel
 		if tf.HeartbeatEvery > 0 {
 			cfg.HeartbeatEvery = tf.HeartbeatEvery
 			cfg.HeartbeatWriter = os.Stderr
 		}
-		if scale < 1.0 {
-			cfg.Runs = campaign.ScaledRuns(scale)
-		}
 		start := time.Now()
-		if !jsonOut {
+		if !jsonOut && traceIn == "" {
 			fmt.Printf("== campaign replay (scale %.2f) ==\n", scale)
 		}
 		// Allocation stats bracket the replay so GC-pressure wins show up in
@@ -389,9 +404,12 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 	}
 
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		b, err := rep.Marshal()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
 	}
 	return nil
 }

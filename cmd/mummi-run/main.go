@@ -12,6 +12,13 @@
 //	  ]
 //	}
 //
+// Campaigns also travel as workflow instances — portable, versioned trace
+// files (docs/SCENARIOS.md): -trace-in replays one, -trace-out exports the
+// effective configuration as one.
+//
+//	mummi-run -trace-in scenarios/chaos-full-stack.trace.json
+//	mummi-run -scale 0.05 -trace-out my.trace.json
+//
 // The observability flags (-trace, -metrics, -metrics-addr, -heartbeat)
 // record the replay's telemetry; see docs/OBSERVABILITY.md:
 //
@@ -23,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mummi/internal/campaign"
 	"mummi/internal/faults"
 	"mummi/internal/telemetry"
+	"mummi/internal/trace"
 )
 
 // fileConfig is the JSON shape of -config (durations as strings).
@@ -47,17 +56,48 @@ func main() {
 	cfgPath := flag.String("config", "", "JSON campaign configuration (empty = paper schedule)")
 	scale := flag.Float64("scale", 0.25, "paper-schedule scale when no -config is given")
 	seed := flag.Int64("seed", 1, "seed when no -config is given")
+	scales := flag.String("scales", string(campaign.ThreeScale),
+		"scale regime: three-scale (continuum+CG+AA) or two-scale (mini-MuMMI CG+AA)")
 	feedbackEvery := flag.Duration("feedback-every", 30*time.Minute,
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
 	faultSpec := flag.String("faults", "",
 		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
+	traceIn := flag.String("trace-in", "", "replay this workflow instance instead of -config/-scale")
+	traceOut := flag.String("trace-out", "", "export the effective campaign configuration as a workflow instance")
+	traceName := flag.String("trace-name", "exported", "scenario name to record in -trace-out")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := campaign.DefaultConfig()
-	cfg.Seed = *seed
-	if *cfgPath != "" {
+	var cfg campaign.Config
+	switch {
+	case *traceIn != "":
+		// A trace is a complete configuration: mixing it with the flag-based
+		// knobs would silently shadow the committed scenario, so refuse.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "config", "scale", "seed", "scales", "feedback-every", "faults":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fatal(fmt.Errorf("-trace-in replaces the campaign configuration; drop %s", strings.Join(conflict, ", ")))
+		}
+		b, err := os.ReadFile(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := trace.Parse(b)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *traceIn, err))
+		}
+		if cfg, err = t.Config(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replaying scenario %s (%s)\n", t.Name, t.Description)
+	case *cfgPath != "":
+		cfg = campaign.DefaultConfig()
 		b, err := os.ReadFile(*cfgPath)
 		if err != nil {
 			fatal(err)
@@ -84,19 +124,42 @@ func main() {
 		if fc.FrameCandidateSubsample > 0 {
 			cfg.FrameCandidateSubsample = fc.FrameCandidateSubsample
 		}
-	} else if *scale < 1.0 {
-		cfg.Runs = campaign.ScaledRuns(*scale)
+		cfg.Scales = campaign.ScaleMode(*scales)
+		cfg.FeedbackEvery = *feedbackEvery
+		if *faultSpec != "" {
+			plan, err := faults.ParseFlag(*faultSpec)
+			if err != nil {
+				fatal(err)
+			}
+			if plan.Seed == 0 {
+				plan.Seed = cfg.Seed
+			}
+			cfg.Faults = plan
+		}
+	default:
+		opts := campaign.Options{
+			Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
+			FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+		}
+		var err error
+		if cfg, err = opts.Build(); err != nil {
+			fatal(err)
+		}
 	}
 
-	if *faultSpec != "" {
-		plan, err := faults.ParseFlag(*faultSpec)
+	if *traceOut != "" {
+		t, err := trace.FromConfig(*traceName, "exported by mummi-run", cfg)
 		if err != nil {
 			fatal(err)
 		}
-		if plan.Seed == 0 {
-			plan.Seed = cfg.Seed
+		b, err := t.Marshal()
+		if err != nil {
+			fatal(err)
 		}
-		cfg.Faults = plan
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote workflow instance -> %s\n", *traceOut)
 	}
 
 	tel, srv, err := tf.Build()
@@ -104,7 +167,6 @@ func main() {
 		fatal(err)
 	}
 	cfg.Telemetry = tel
-	cfg.FeedbackEvery = *feedbackEvery
 	if tf.HeartbeatEvery > 0 {
 		cfg.HeartbeatEvery = tf.HeartbeatEvery
 		cfg.HeartbeatWriter = os.Stderr

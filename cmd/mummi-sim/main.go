@@ -14,6 +14,14 @@
 // observability surface (see docs/OBSERVABILITY.md):
 //
 //	mummi-sim campaign -scale 0.05 -trace trace.json -metrics metrics.json
+//
+// The trace subcommand works with workflow instances — portable JSON
+// descriptions of a campaign (docs/SCENARIOS.md):
+//
+//	mummi-sim trace export -scale 0.05 -out my.trace.json
+//	mummi-sim trace import -in my.trace.json
+//	mummi-sim trace gen -seed 42 -n 8 -outdir sweeps/
+//	mummi-sim campaign -trace-in scenarios/laptop-smoke.trace.json
 package main
 
 import (
@@ -29,19 +37,19 @@ import (
 	"mummi/internal/datastore"
 	"mummi/internal/dynim"
 	"mummi/internal/errutil"
-	"mummi/internal/faults"
 	"mummi/internal/feedback"
 	"mummi/internal/fsstore"
 	"mummi/internal/mlenc"
 	"mummi/internal/patch"
 	"mummi/internal/sim"
 	"mummi/internal/telemetry"
+	"mummi/internal/trace"
 	"mummi/internal/units"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatal(fmt.Errorf("usage: mummi-sim continuum|patches|select|cg|feedback|campaign [flags]"))
+		fatal(fmt.Errorf("usage: mummi-sim continuum|patches|select|cg|feedback|campaign|trace [flags]"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -57,6 +65,8 @@ func main() {
 		err = runFeedback(os.Args[2:])
 	case "campaign":
 		err = runCampaign(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown component %q", os.Args[1])
 	}
@@ -74,14 +84,22 @@ func fatal(err error) {
 // example campaign of docs/OBSERVABILITY.md. The default scale finishes in
 // seconds on a laptop while still exercising every instrumented layer
 // (all four workflow-manager tasks, the scheduler, and the feedback store).
+// With -trace-in the campaign comes from a workflow instance instead of
+// the configuration flags; -trace-out exports the effective configuration
+// as a trace for replay elsewhere (docs/SCENARIOS.md).
 func runCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	scale := fs.Float64("scale", 0.05, "paper-schedule scale factor (1.0 = full 600,600 node-hours)")
 	seed := fs.Int64("seed", 1, "seed")
+	scales := fs.String("scales", string(campaign.ThreeScale),
+		"scale regime: three-scale (continuum+CG+AA) or two-scale (mini-MuMMI CG+AA)")
 	feedbackEvery := fs.Duration("feedback-every", 30*time.Minute,
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
 	faultSpec := fs.String("faults", "",
 		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
+	traceIn := fs.String("trace-in", "", "replay this workflow instance instead of the configuration flags")
+	traceOut := fs.String("trace-out", "", "export the effective campaign configuration as a workflow instance")
+	traceName := fs.String("trace-name", "exported", "scenario name to record in -trace-out")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	fs.Parse(args)
@@ -90,21 +108,48 @@ func runCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := campaign.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Runs = campaign.ScaledRuns(*scale)
-	cfg.Telemetry = tel
-	cfg.FeedbackEvery = *feedbackEvery
-	if *faultSpec != "" {
-		plan, err := faults.ParseFlag(*faultSpec)
+	var cfg campaign.Config
+	if *traceIn != "" {
+		// A trace is a complete configuration: mixing it with the flag-based
+		// knobs would silently shadow the committed scenario, so refuse.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale", "seed", "scales", "feedback-every", "faults":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-trace-in replaces the campaign configuration; drop %s", strings.Join(conflict, ", "))
+		}
+		t, err := readTrace(*traceIn)
 		if err != nil {
 			return err
 		}
-		if plan.Seed == 0 {
-			plan.Seed = cfg.Seed
+		if cfg, err = t.Config(); err != nil {
+			return err
 		}
-		cfg.Faults = plan
+		fmt.Printf("campaign: replaying scenario %s (%s)\n", t.Name, t.Description)
+	} else {
+		opts := campaign.Options{
+			Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
+			FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+		}
+		if cfg, err = opts.Build(); err != nil {
+			return err
+		}
 	}
+	if *traceOut != "" {
+		t, err := trace.FromConfig(*traceName, "exported by mummi-sim campaign", cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeTrace(*traceOut, t); err != nil {
+			return err
+		}
+		fmt.Printf("campaign: wrote workflow instance -> %s\n", *traceOut)
+	}
+	cfg.Telemetry = tel
 	if tf.HeartbeatEvery > 0 {
 		cfg.HeartbeatEvery = tf.HeartbeatEvery
 		cfg.HeartbeatWriter = os.Stderr
@@ -140,6 +185,165 @@ func runCampaign(args []string) error {
 			fmt.Printf("campaign: metrics snapshot -> %s\n", tf.MetricsPath)
 		}
 	}
+	return nil
+}
+
+// readTrace loads and validates a workflow instance file.
+func readTrace(path string) (*trace.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := trace.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// writeTrace writes a workflow instance in canonical encoding.
+func writeTrace(path string, t *trace.Trace) error {
+	b, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// runTrace is the workflow-instance toolbox: export a configuration as a
+// trace, import (validate and summarize) one, or generate a deterministic
+// scenario sweep. The format and the committed scenario catalog are
+// documented in docs/SCENARIOS.md.
+func runTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: mummi-sim trace export|import|gen [flags]")
+	}
+	switch args[0] {
+	case "export":
+		return runTraceExport(args[1:])
+	case "import":
+		return runTraceImport(args[1:])
+	case "gen":
+		return runTraceGen(args[1:])
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (want export, import, or gen)", args[0])
+	}
+}
+
+// runTraceExport builds a campaign configuration from the same knobs the
+// campaign subcommand takes and writes it as a workflow instance.
+func runTraceExport(args []string) error {
+	fs := flag.NewFlagSet("trace export", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "paper-schedule scale factor (1.0 = full 600,600 node-hours)")
+	seed := fs.Int64("seed", 1, "seed")
+	scales := fs.String("scales", string(campaign.ThreeScale),
+		"scale regime: three-scale or two-scale")
+	feedbackEvery := fs.Duration("feedback-every", 30*time.Minute,
+		"Task-4 feedback cadence in campaign virtual time (0 = off)")
+	faultSpec := fs.String("faults", "", "chaos plan (see docs/RESILIENCE.md; empty = no faults)")
+	name := fs.String("name", "exported", "scenario name to record in the trace")
+	desc := fs.String("desc", "exported by mummi-sim trace export", "scenario description")
+	out := fs.String("out", "", "output file (default: <name>.trace.json)")
+	fs.Parse(args)
+
+	opts := campaign.Options{
+		Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
+		FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+	}
+	cfg, err := opts.Build()
+	if err != nil {
+		return err
+	}
+	t, err := trace.FromConfig(*name, *desc, cfg)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".trace.json"
+	}
+	if err := writeTrace(path, t); err != nil {
+		return err
+	}
+	fmt.Printf("trace: exported %s -> %s\n", t.Name, path)
+	return nil
+}
+
+// runTraceImport validates a workflow instance and prints its summary.
+// With -out it re-exports the parsed trace in canonical encoding, which
+// normalizes hand-edited files and (diffed against the input) proves the
+// import/export round trip is byte-exact.
+func runTraceImport(args []string) error {
+	fs := flag.NewFlagSet("trace import", flag.ExitOnError)
+	in := fs.String("in", "", "workflow instance to import (required)")
+	out := fs.String("out", "", "re-export the trace canonically to this file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("trace import: -in is required")
+	}
+	t, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	var nodes, count int
+	var wall time.Duration
+	for _, r := range t.Topology {
+		if r.Nodes > nodes {
+			nodes = r.Nodes
+		}
+		count += r.Count
+		wall += time.Duration(r.Wall) * time.Duration(r.Count)
+	}
+	fmt.Printf("trace: %s (%s)\n", t.Name, t.Schema)
+	fmt.Printf("  %s\n", t.Description)
+	fmt.Printf("  seed %d, %d allocation(s) up to %d nodes, %v total wall\n",
+		t.Seed, count, nodes, wall)
+	fmt.Printf("  %s regime, %s/%s scheduler", t.Scales.Mode, t.Scheduler.Policy, t.Scheduler.Mode)
+	if t.FaultPlan != nil {
+		fmt.Printf(", %d fault rule(s)", len(t.FaultPlan.Rules))
+	}
+	fmt.Println()
+	if *out != "" {
+		if err := writeTrace(*out, t); err != nil {
+			return err
+		}
+		fmt.Printf("trace: canonical re-export -> %s\n", *out)
+	}
+	return nil
+}
+
+// runTraceGen writes a deterministic scenario sweep (or, with -catalog,
+// the named scenario matrix committed under scenarios/) as one
+// <name>.trace.json per instance.
+func runTraceGen(args []string) error {
+	fs := flag.NewFlagSet("trace gen", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "sweep seed (same seed+n = byte-identical traces)")
+	n := fs.Int("n", 6, "instances to generate")
+	outdir := fs.String("outdir", ".", "output directory")
+	catalog := fs.Bool("catalog", false, "write the named scenario catalog instead of a seeded sweep")
+	fs.Parse(args)
+
+	var traces []*trace.Trace
+	var err error
+	if *catalog {
+		traces, err = trace.Catalog()
+	} else {
+		traces, err = trace.Gen(*seed, *n)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range traces {
+		path := filepath.Join(*outdir, t.Name+".trace.json")
+		if err := writeTrace(path, t); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s\n", path)
+	}
+	fmt.Printf("trace: %d workflow instance(s) -> %s\n", len(traces), *outdir)
 	return nil
 }
 

@@ -1,0 +1,186 @@
+// Package benchfmt is the shared model of the repo's perf-trajectory
+// artifacts: the mummi-bench/v1 report shape (one flat numeric metric map
+// per experiment), its canonical encoding, the timing-vs-deterministic
+// metric classification, and the regression comparison that gates the
+// committed BENCH_*.json ledgers. cmd/mummi-bench writes reports,
+// scripts/benchdiff compares two files, and scripts/matrix runs the
+// scenario matrix — all through this package, so the ledger semantics
+// cannot drift between tools.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SchemaPrefix is the report-schema family every loadable report must
+// declare.
+const SchemaPrefix = "mummi-bench/"
+
+// Schema is the report version this build writes.
+const Schema = "mummi-bench/v1"
+
+// Report is the mummi-bench -json output shape: one flat numeric metric
+// map per experiment, durations in seconds, so perf trajectories diff
+// cleanly.
+type Report struct {
+	// Schema is the report version (Schema constant).
+	Schema string `json:"schema"`
+	// Scale is the campaign scale factor the report was produced at.
+	Scale float64 `json:"scale"`
+	// Seed is the campaign seed.
+	Seed int64 `json:"seed"`
+	// Full records whether systems experiments ran at full paper scale.
+	Full bool `json:"full"`
+	// Workers is the selector fan-out the run used (non-semantic).
+	Workers int `json:"workers"`
+	// Experiments maps experiment name to its metric map.
+	Experiments map[string]map[string]float64 `json:"experiments"`
+}
+
+// New returns an empty report at this build's schema version.
+func New(scale float64, seed int64, full bool, workers int) *Report {
+	return &Report{Schema: Schema, Scale: scale, Seed: seed, Full: full,
+		Workers: workers, Experiments: map[string]map[string]float64{}}
+}
+
+// Record sets one experiment's metric map.
+func (r *Report) Record(name string, metrics map[string]float64) {
+	r.Experiments[name] = metrics
+}
+
+// Marshal renders the report in canonical form: two-space indented JSON
+// with a trailing newline (map keys sorted by encoding/json), so
+// same-content reports are byte-identical — the property the scenario
+// matrix's determinism diff relies on.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the canonical encoding to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads and validates a report file.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, SchemaPrefix) {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// IsTiming reports whether a metric is machine-dependent (thresholded on
+// comparison) rather than deterministic replay output (exact-matched).
+// Timing metrics are told apart by name: the _sec/_per_sec/_per_s/_x
+// suffixes and the alloc_ prefix.
+func IsTiming(name string) bool {
+	return strings.HasSuffix(name, "_sec") ||
+		strings.HasSuffix(name, "_per_sec") ||
+		strings.HasSuffix(name, "_per_s") ||
+		strings.HasSuffix(name, "_x") ||
+		strings.HasPrefix(name, "alloc_")
+}
+
+// Result summarizes one Compare call.
+type Result struct {
+	// Compared counts metrics present in both reports.
+	Compared int
+	// Skipped counts experiments/metrics present in only one report.
+	Skipped int
+	// Failures counts regressions: deterministic drift or a timing metric
+	// beyond the threshold factor.
+	Failures int
+}
+
+// Compare diffs two reports metric by metric, writing one line per metric
+// to w (benchdiff's human-readable format). Deterministic metrics must
+// match exactly — drift there means replay behaviour changed, which is an
+// equivalence failure, not a perf regression. Timing metrics may not
+// exceed old by more than the threshold factor; improvements of any size
+// pass. Metrics or experiments present in only one report are skipped (and
+// counted), so the schema can grow without invalidating committed
+// baselines. Reports from different configurations (scale, seed, full) are
+// refused with an error rather than misjudged.
+func Compare(w io.Writer, oldRep, newRep *Report, oldName string, threshold float64) (Result, error) {
+	var res Result
+	if oldRep.Scale != newRep.Scale || oldRep.Seed != newRep.Seed || oldRep.Full != newRep.Full {
+		return res, fmt.Errorf(
+			"configs differ (scale %v/%v, seed %d/%d, full %v/%v); refusing to compare",
+			oldRep.Scale, newRep.Scale, oldRep.Seed, newRep.Seed, oldRep.Full, newRep.Full)
+	}
+
+	var names []string
+	for name := range oldRep.Experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, expName := range names {
+		oldM := oldRep.Experiments[expName]
+		newM, ok := newRep.Experiments[expName]
+		if !ok {
+			fmt.Fprintf(w, "skip  %-28s (experiment only in %s)\n", expName, oldName)
+			res.Skipped += len(oldM)
+			continue
+		}
+		var metrics []string
+		for m := range oldM {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			oldV := oldM[m]
+			newV, ok := newM[m]
+			key := expName + "." + m
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			res.Compared++
+			switch {
+			case IsTiming(m):
+				if oldV > 0 && newV > oldV*threshold {
+					fmt.Fprintf(w, "FAIL  %-40s %14.6g -> %-14.6g (%.2fx > %.2fx allowed)\n",
+						key, oldV, newV, newV/oldV, threshold)
+					res.Failures++
+				} else {
+					ratio := 0.0
+					if oldV > 0 {
+						ratio = newV / oldV
+					}
+					fmt.Fprintf(w, "ok    %-40s %14.6g -> %-14.6g (%.2fx)\n", key, oldV, newV, ratio)
+				}
+			default:
+				if oldV != newV {
+					fmt.Fprintf(w, "FAIL  %-40s %14.6g != %-14.6g (deterministic metric drifted)\n",
+						key, oldV, newV)
+					res.Failures++
+				} else {
+					fmt.Fprintf(w, "ok    %-40s %14.6g (exact)\n", key, oldV)
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -100,6 +100,9 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 	if len(cfg.Runs) == 0 {
 		return nil, fmt.Errorf("campaign: no runs configured")
 	}
+	if !cfg.Scales.Valid() {
+		return nil, fmt.Errorf("campaign: unknown scale mode %q", cfg.Scales)
+	}
 	c := &Campaign{
 		cfg:  cfg,
 		clk:  vclock.NewVirtual(Epoch),
@@ -282,8 +285,18 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	}
 	c.active = make(map[sched.JobID]activeJob)
 
+	// In the three-scale regime a live continuum job occupies contNodes and
+	// produces the snapshot stream; in the two-scale (mini-MuMMI) regime the
+	// stream is an archive replayed at the same published rate, the nodes
+	// stay free for simulations, and no continuum job is scheduled.
 	contNodes := continuumNodes(spec.Nodes)
 	contRate := sim.ContinuumPerf(contNodes * 24)
+	var staticJobs []sched.Request
+	if c.cfg.Scales == ThreeScale {
+		staticJobs = []sched.Request{
+			{Name: "continuum", NodeCount: contNodes, Cores: 24},
+		}
+	}
 
 	// newWM builds the allocation's workflow manager. It is a closure so the
 	// WM-crash fault path can rebuild the manager mid-run with the same
@@ -304,9 +317,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 			Seed:          seed,
 			Telemetry:     c.tel,
 			WatchdogGrace: wdGrace,
-			StaticJobs: []sched.Request{
-				{Name: "continuum", NodeCount: contNodes, Cores: 24},
-			},
+			StaticJobs: staticJobs,
 			Couplings: []core.CouplingSpec{
 				// Setup jobs take 24 of a node's 44 cores, so at most one fits
 				// per node: cap the combined ready-buffer targets at the node
@@ -536,16 +547,20 @@ func (c *Campaign) heartbeatLine(now time.Time, run int, spec RunSpec,
 
 // onSnapshot models Task 1 for one continuum snapshot: advance the protein
 // encodings, cut patches, offer them to the patch selector, and account the
-// data products.
+// data products. In the two-scale regime the snapshot is read from an
+// archive rather than produced, so only patch products are accounted — no
+// continuum time, performance sample, or snapshot file.
 func (c *Campaign) onSnapshot(wm *core.Workflow, contNodes int) {
 	c.res.Snapshots++
-	c.res.ContinuumTotal += 1 * units.Microsecond
-	perf := sim.ContinuumPerf(contNodes*24).SimFor(24*time.Hour).Milliseconds() *
-		(1 + 0.01*c.rng.NormFloat64())
-	c.res.ContinuumPerf = append(c.res.ContinuumPerf, perf)
+	if c.cfg.Scales == ThreeScale {
+		c.res.ContinuumTotal += 1 * units.Microsecond
+		perf := sim.ContinuumPerf(contNodes*24).SimFor(24*time.Hour).Milliseconds() *
+			(1 + 0.01*c.rng.NormFloat64())
+		c.res.ContinuumPerf = append(c.res.ContinuumPerf, perf)
 
-	c.res.Files += 1 // snapshot file
-	c.res.Bytes += int64(continuumSnapshotBytes)
+		c.res.Files += 1 // snapshot file
+		c.res.Bytes += int64(continuumSnapshotBytes)
+	}
 
 	for i := 0; i < c.cfg.PatchesPerSnapshot; i++ {
 		// Protein walk: slow drift in 9-D encoding space.

@@ -1,0 +1,46 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOptionsBuild(t *testing.T) {
+	cfg, err := Options{Scale: 0.05, Seed: 9, FeedbackEvery: time.Hour}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.FeedbackEvery != time.Hour {
+		t.Errorf("seed/feedback not applied: %d, %v", cfg.Seed, cfg.FeedbackEvery)
+	}
+	if !reflect.DeepEqual(cfg.Runs, ScaledRuns(0.05)) {
+		t.Error("scale 0.05 should select the scaled schedule")
+	}
+	if cfg.Scales != ThreeScale {
+		t.Errorf("empty Scales should default to three-scale, got %q", cfg.Scales)
+	}
+
+	full, err := Options{Scale: 1.0, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Runs, DefaultConfig().Runs) {
+		t.Error("scale 1.0 should keep the full paper schedule")
+	}
+
+	if _, err := (Options{Seed: 1, Scales: "four-scale"}).Build(); err == nil {
+		t.Error("invalid scale mode accepted")
+	}
+	if _, err := (Options{Seed: 1, FaultSpec: "bogus-class:1"}).Build(); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+
+	cfg, err = Options{Seed: 4, FaultSpec: "node-crash:2"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil || cfg.Faults.Seed != 4 {
+		t.Errorf("fault plan should inherit the campaign seed, got %+v", cfg.Faults)
+	}
+}

@@ -23,14 +23,16 @@ import (
 //
 // Scope: the packages the telemetry layer touches (core, sched, datastore,
 // telemetry) — the ones OBSERVABILITY.md documents — plus the chaos
-// surface (faults, retry), which RESILIENCE.md documents.
+// surface (faults, retry), which RESILIENCE.md documents, plus the
+// workload-trace layer (trace, benchfmt), whose formats SCENARIOS.md
+// documents field by field.
 var DocComment = &Analyzer{
 	Name: "doccomment",
-	Doc:  "requires doc comments on exported identifiers in the instrumented packages (core, sched, datastore, telemetry, faults, retry)",
+	Doc:  "requires doc comments on exported identifiers in the instrumented packages (core, sched, datastore, telemetry, faults, retry, trace, benchfmt)",
 	Scope: func(pkgPath string) bool {
 		for _, suffix := range []string{
 			"internal/core", "internal/sched", "internal/datastore", "internal/telemetry",
-			"internal/faults", "internal/retry",
+			"internal/faults", "internal/retry", "internal/trace", "internal/benchfmt",
 		} {
 			if strings.HasSuffix(pkgPath, suffix) {
 				return true

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"mummi/internal/campaign"
+	"mummi/internal/faults"
+	"mummi/internal/sched"
+)
+
+// Catalog returns the named scenario matrix: the workflow instances
+// committed under scenarios/ and replayed by `make matrix`. Each entry
+// stresses one axis of the coordination layer — topology, scale regime,
+// scheduler configuration, selection pressure, job-shape mix, or fault
+// plan — and carries a committed BENCH_scenario_<name>.json ledger that
+// ci.sh gates against drift (docs/SCENARIOS.md documents each scenario
+// and its headline metrics).
+//
+// The committed files are this function's output verbatim:
+// TestCommittedScenariosMatchCatalog fails if they diverge, and
+// `make scenarios` regenerates them.
+func Catalog() ([]*Trace, error) {
+	base := func(seed int64, runs ...campaign.RunSpec) campaign.Config {
+		cfg := campaign.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Runs = runs
+		// Full-rate selector insertion: catalog scenarios are small enough
+		// that memory bounding is unnecessary, and full insertion makes the
+		// selection counts a direct function of the workload densities.
+		cfg.FrameCandidateSubsample = 0.2
+		return cfg
+	}
+	type entry struct {
+		name, desc string
+		cfg        campaign.Config
+	}
+	var entries []entry
+	add := func(name, desc string, cfg campaign.Config) {
+		entries = append(entries, entry{name, desc, cfg})
+	}
+
+	// --- topology axis -----------------------------------------------------
+	cfg := base(3, campaign.RunSpec{Nodes: 2, Wall: 2 * time.Hour, Count: 1})
+	cfg.FrameCandidateSubsample = 0.05
+	add("laptop-smoke",
+		"smallest useful campaign: one 2-node 2-hour allocation, the §4.5 laptop deployment",
+		cfg)
+
+	cfg = campaign.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Runs = campaign.ScaledRuns(0.05)
+	add("paper-sched-5pct",
+		"the paper's Table 1 schedule at 5% scale: five allocation shapes, checkpoint-restart across all of them",
+		cfg)
+
+	cfg = base(5, campaign.RunSpec{Nodes: 4608, Wall: 20 * time.Minute, Count: 1})
+	add("summit-class-burst",
+		"one Summit-class 4608-node allocation: matcher and submission-throttle behaviour at full machine width",
+		cfg)
+
+	// --- scale-regime axis (mini-MuMMI, arXiv 2507.07352) ------------------
+	cfg = base(11, campaign.RunSpec{Nodes: 8, Wall: 6 * time.Hour, Count: 1})
+	cfg.Scales = campaign.TwoScale
+	add("mini-mummi-two-scale",
+		"mini-MuMMI's two-scale CG-AA regime: archived snapshot stream, no continuum job, 8 nodes",
+		cfg)
+
+	cfg = base(13, campaign.RunSpec{Nodes: 16, Wall: 4 * time.Hour, Count: 1})
+	cfg.Scales = campaign.TwoScale
+	cfg.FrameCandidatesPerUs = 203.6
+	cfg.FrameCandidateSubsample = 0.3
+	add("two-scale-dense-frames",
+		"two-scale regime with doubled AA-candidate density and 0.3 subsampling: frame-selector pressure",
+		cfg)
+
+	// --- scheduler axis ----------------------------------------------------
+	cfg = base(17, campaign.RunSpec{Nodes: 256, Wall: 2 * time.Hour, Count: 1})
+	cfg.SchedPolicy = sched.FirstMatch
+	cfg.SchedMode = sched.Async
+	add("first-match-async",
+		"the paper's Flux fix: first-match policy with async queue-matcher coupling, 256 nodes",
+		cfg)
+
+	cfg = base(19, campaign.RunSpec{Nodes: 500, Wall: 2 * time.Hour, Count: 1})
+	add("sync-exhaustive-stress",
+		"the campaign-era scheduler: synchronous exhaustive matching with modeled status load, 500 nodes",
+		cfg)
+
+	// --- selection axis ----------------------------------------------------
+	cfg = base(31, campaign.RunSpec{Nodes: 64, Wall: 4 * time.Hour, Count: 1})
+	cfg.InventoryFraction = 0.02
+	add("inventory-lean",
+		"near-empty prepared-configuration inventory (2%): the staleness end of the readiness trade-off",
+		cfg)
+
+	cfg = base(37, campaign.RunSpec{Nodes: 32, Wall: 6 * time.Hour, Count: 1})
+	cfg.PatchQueueCap = 5000
+	cfg.FrameBins = 40
+	cfg.FrameCandidateSubsample = 0.3
+	add("selector-pressure",
+		"small patch queues (5k cap) with a fine 40-bin frame selector: eviction and binning churn",
+		cfg)
+
+	// --- job-shape / feedback axis -----------------------------------------
+	cfg = base(41, campaign.RunSpec{Nodes: 16, Wall: 6 * time.Hour, Count: 1})
+	cfg.CGShare = 0.6
+	cfg.FeedbackEvery = 10 * time.Minute
+	add("feedback-hot",
+		"60/40 CG/AA GPU split with a 10-minute Task-4 feedback cadence: feedback-store traffic dominant",
+		cfg)
+
+	cfg = base(43, campaign.RunSpec{Nodes: 64, Wall: 4 * time.Hour, Count: 1})
+	cfg.FailuresPerDay = 48
+	add("failure-resubmit",
+		"48 injected job failures/day: the tracker resubmission path with checkpointed progress continuity",
+		cfg)
+
+	// --- fault-plan axis ---------------------------------------------------
+	cfg = base(23, campaign.RunSpec{Nodes: 32, Wall: 6 * time.Hour, Count: 1})
+	cfg.Faults = &faults.Plan{Seed: 23, Rules: []faults.Rule{
+		{Class: faults.NodeCrash, Rate: 24, Recovery: 30 * time.Minute},
+		{Class: faults.JobHang, Rate: 12},
+	}}
+	add("chaos-node-storm",
+		"node crashes every hour on average plus hung jobs: drain/revive and watchdog under sustained loss",
+		cfg)
+
+	cfg = base(29, campaign.RunSpec{Nodes: 8, Wall: 6 * time.Hour, Count: 1})
+	cfg.FeedbackEvery = 15 * time.Minute
+	cfg.Faults = &faults.Plan{Seed: 29, Rules: []faults.Rule{
+		{Class: faults.StoreTransient, Rate: 0.2},
+		{Class: faults.StoreLatency, Rate: 0.1, Latency: 2 * time.Second},
+		{Class: faults.StorePermanent, Rate: 0.02},
+	}}
+	add("chaos-store-flaky",
+		"flaky feedback store (20% transient, 2% permanent) under a 15-minute feedback cadence: armor retry path",
+		cfg)
+
+	cfg = base(7, campaign.RunSpec{Nodes: 16, Wall: 4 * time.Hour, Count: 1})
+	cfg.FeedbackEvery = 30 * time.Minute
+	cfg.Faults = faults.AggressivePlan(7)
+	add("chaos-full-stack",
+		"every fault class at the CI chaos-smoke rates, including WM crash-restart with the conservation assert",
+		cfg)
+
+	out := make([]*Trace, 0, len(entries))
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.name] {
+			return nil, fmt.Errorf("trace: duplicate catalog scenario %q", e.name)
+		}
+		seen[e.name] = true
+		t, err := FromConfig(e.name, e.desc, e.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace: catalog scenario %q: %w", e.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks the strict-parse invariant on arbitrary input: Parse
+// either rejects a document or accepts one whose canonical re-encoding
+// parses back to the same bytes (accept ⇒ idempotent round trip).
+func FuzzParse(f *testing.F) {
+	traces, err := Catalog()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, tr := range traces {
+		b, err := tr.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"mummi-trace/v2"}`))
+	f.Add([]byte(`{"schema":"mummi-trace/v1","name":"x"}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(data)
+		if err != nil {
+			return
+		}
+		b1, err := tr.Marshal()
+		if err != nil {
+			t.Fatalf("accepted trace does not marshal: %v", err)
+		}
+		tr2, err := Parse(b1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-parse: %v", err)
+		}
+		b2, err := tr2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("canonical encoding is not a fixed point of parse->marshal")
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mummi/internal/campaign"
+	"mummi/internal/faults"
+	"mummi/internal/sched"
+)
+
+// topoPreset is one point on the topology axis, laptop to Summit-class.
+type topoPreset struct {
+	name string
+	runs []campaign.RunSpec
+}
+
+// genTopologies spans the machine-size axis. The Summit-class entry uses a
+// short wall so a generated trace stays replayable in minutes, not hours;
+// the point of the axis is scheduler/selector behaviour at node scale, not
+// campaign length.
+func genTopologies() []topoPreset {
+	return []topoPreset{
+		{"laptop-2n", []campaign.RunSpec{{Nodes: 2, Wall: 2 * time.Hour, Count: 1}}},
+		{"workstation-8n", []campaign.RunSpec{{Nodes: 8, Wall: 4 * time.Hour, Count: 1}}},
+		{"cluster-64n", []campaign.RunSpec{{Nodes: 64, Wall: 6 * time.Hour, Count: 2}}},
+		{"leadership-512n", []campaign.RunSpec{{Nodes: 512, Wall: 3 * time.Hour, Count: 1}}},
+		{"summit-4608n", []campaign.RunSpec{{Nodes: 4608, Wall: 30 * time.Minute, Count: 1}}},
+	}
+}
+
+// genFaultPlans spans the fault-plan axis: no chaos, a light plan, and the
+// aggressive all-six-classes plan the CI chaos smoke uses.
+func genFaultPlans(seed int64) []struct {
+	name string
+	plan *faults.Plan
+} {
+	return []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"calm", nil},
+		{"chaos-light", &faults.Plan{Seed: seed, Rules: []faults.Rule{
+			{Class: faults.StoreTransient, Rate: 0.05},
+			{Class: faults.NodeCrash, Rate: 2, Recovery: time.Hour},
+		}}},
+		{"chaos-heavy", faults.AggressivePlan(seed)},
+	}
+}
+
+// Gen deterministically derives n workflow instances from seed, sweeping
+// every scenario axis: topology (laptop to Summit-class), scale regime
+// (two- and three-scale stacks), scheduler policy and mode, selection
+// knobs, job-shape mix, and fault plans. The same (seed, n) always yields
+// byte-identical traces, so generated sweeps are as replayable and
+// committable as hand-written scenarios. Axis values are drawn per
+// instance from a seeded source; the instance index is part of the name,
+// so names are unique within a sweep.
+func Gen(seed int64, n int) ([]*Trace, error) {
+	rng := rand.New(rand.NewSource(seed))
+	topos := genTopologies()
+	modes := []campaign.ScaleMode{campaign.ThreeScale, campaign.TwoScale}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		topo := topos[rng.Intn(len(topos))]
+		mode := modes[rng.Intn(len(modes))]
+		plans := genFaultPlans(seed + int64(i))
+		fault := plans[rng.Intn(len(plans))]
+
+		cfg := campaign.DefaultConfig()
+		cfg.Seed = seed + int64(i)
+		cfg.Runs = topo.runs
+		cfg.Scales = mode
+		cfg.CGShare = []float64{0.6, 0.7, 0.8}[rng.Intn(3)]
+		cfg.FrameCandidateSubsample = []float64{0.05, 0.1, 0.3}[rng.Intn(3)]
+		cfg.InventoryFraction = []float64{0.02, 0.25, 0.5, 1.0}[rng.Intn(4)]
+		cfg.PatchQueueCap = []int{5000, 35000}[rng.Intn(2)]
+		cfg.FrameBins = []int{10, 20, 40}[rng.Intn(3)]
+		if rng.Intn(2) == 1 {
+			cfg.SchedPolicy = sched.FirstMatch
+		}
+		if rng.Intn(2) == 1 {
+			cfg.SchedMode = sched.Async
+		}
+		if fault.plan != nil {
+			cfg.Faults = fault.plan
+			// Store-class faults need feedback traffic to have something
+			// to hit (see campaign.Config.Faults).
+			cfg.FeedbackEvery = 30 * time.Minute
+		}
+
+		name := fmt.Sprintf("gen-%03d-%s-%s-%s", i, topo.name, mode, fault.name)
+		desc := fmt.Sprintf("generated sweep instance %d of seed %d: %s topology, %s regime, %s fault plan",
+			i, seed, topo.name, mode, fault.name)
+		t, err := FromConfig(name, desc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace: generating instance %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mummi/internal/campaign"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	a, err := Gen(99, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gen(99, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("got %d/%d traces, want 10", len(a), len(b))
+	}
+	for i := range a {
+		ab, err := a[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("instance %d: same (seed, n) produced different traces", i)
+		}
+	}
+	c, err := Gen(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := c[0].Marshal()
+	ab, _ := a[0].Marshal()
+	if bytes.Equal(ab, cb) {
+		t.Error("different seeds produced an identical first instance")
+	}
+}
+
+func TestGenValidAndParsable(t *testing.T) {
+	traces, err := Gen(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		if seen[tr.Name] {
+			t.Errorf("duplicate generated name %q", tr.Name)
+		}
+		seen[tr.Name] = true
+		b, err := tr.Marshal()
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		if _, err := Parse(b); err != nil {
+			t.Errorf("%s: generated trace does not parse: %v", tr.Name, err)
+		}
+	}
+}
+
+// TestGenSweepsAxes checks a modest sweep actually varies the axes the
+// generator claims to sweep.
+func TestGenSweepsAxes(t *testing.T) {
+	traces, err := Gen(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]bool{}
+	topologies := map[int]bool{}
+	policies := map[string]bool{}
+	var faulty, calm bool
+	for _, tr := range traces {
+		modes[tr.Scales.Mode] = true
+		topologies[tr.Topology[0].Nodes] = true
+		policies[tr.Scheduler.Policy] = true
+		if tr.FaultPlan != nil {
+			faulty = true
+		} else {
+			calm = true
+		}
+	}
+	if !modes[string(campaign.ThreeScale)] || !modes[string(campaign.TwoScale)] {
+		t.Errorf("sweep covers modes %v, want both regimes", modes)
+	}
+	if len(topologies) < 3 {
+		t.Errorf("sweep covers %d topologies, want >= 3", len(topologies))
+	}
+	if len(policies) != 2 {
+		t.Errorf("sweep covers policies %v, want both", policies)
+	}
+	if !faulty || !calm {
+		t.Errorf("sweep should mix fault plans and calm runs (faulty=%v calm=%v)", faulty, calm)
+	}
+}

@@ -5,7 +5,9 @@
 //
 //	go run ./scripts/benchdiff [-threshold 4.0] OLD.json NEW.json
 //
-// Metrics fall into two classes, told apart by name:
+// Metrics fall into two classes, told apart by name (see
+// internal/benchfmt, which holds the shared report model and comparison
+// semantics used here, by cmd/mummi-bench, and by scripts/matrix):
 //
 //   - Timing metrics (suffix _sec, _per_sec, _per_s, _x, or prefix alloc_)
 //     are machine-dependent. NEW may not exceed OLD by more than the
@@ -25,46 +27,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
+
+	"mummi/internal/benchfmt"
 )
-
-type report struct {
-	Schema      string                        `json:"schema"`
-	Scale       float64                       `json:"scale"`
-	Seed        int64                         `json:"seed"`
-	Full        bool                          `json:"full"`
-	Experiments map[string]map[string]float64 `json:"experiments"`
-}
-
-func load(path string) (*report, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var r report
-	if err := json.Unmarshal(b, &r); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	if !strings.HasPrefix(r.Schema, "mummi-bench/") {
-		return nil, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
-	}
-	return &r, nil
-}
-
-// isTiming reports whether a metric is machine-dependent (thresholded)
-// rather than deterministic replay output (exact-matched).
-func isTiming(name string) bool {
-	return strings.HasSuffix(name, "_sec") ||
-		strings.HasSuffix(name, "_per_sec") ||
-		strings.HasSuffix(name, "_per_s") ||
-		strings.HasSuffix(name, "_x") ||
-		strings.HasPrefix(name, "alloc_")
-}
 
 func main() {
 	threshold := flag.Float64("threshold", 4.0,
@@ -74,78 +42,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold N] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRep, err := load(flag.Arg(0))
+	oldRep, err := benchfmt.Load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newRep, err := load(flag.Arg(1))
+	newRep, err := benchfmt.Load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	if oldRep.Scale != newRep.Scale || oldRep.Seed != newRep.Seed || oldRep.Full != newRep.Full {
-		fmt.Fprintf(os.Stderr,
-			"benchdiff: configs differ (scale %v/%v, seed %d/%d, full %v/%v); refusing to compare\n",
-			oldRep.Scale, newRep.Scale, oldRep.Seed, newRep.Seed, oldRep.Full, newRep.Full)
+	res, err := benchfmt.Compare(os.Stdout, oldRep, newRep, flag.Arg(0), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-
-	var names []string
-	for name := range oldRep.Experiments {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	failures, compared, skipped := 0, 0, 0
-	for _, expName := range names {
-		oldM := oldRep.Experiments[expName]
-		newM, ok := newRep.Experiments[expName]
-		if !ok {
-			fmt.Printf("skip  %-28s (experiment only in %s)\n", expName, flag.Arg(0))
-			skipped += len(oldM)
-			continue
-		}
-		var metrics []string
-		for m := range oldM {
-			metrics = append(metrics, m)
-		}
-		sort.Strings(metrics)
-		for _, m := range metrics {
-			oldV := oldM[m]
-			newV, ok := newM[m]
-			key := expName + "." + m
-			if !ok {
-				skipped++
-				continue
-			}
-			compared++
-			switch {
-			case isTiming(m):
-				if oldV > 0 && newV > oldV*(*threshold) {
-					fmt.Printf("FAIL  %-40s %14.6g -> %-14.6g (%.2fx > %.2fx allowed)\n",
-						key, oldV, newV, newV/oldV, *threshold)
-					failures++
-				} else {
-					ratio := 0.0
-					if oldV > 0 {
-						ratio = newV / oldV
-					}
-					fmt.Printf("ok    %-40s %14.6g -> %-14.6g (%.2fx)\n", key, oldV, newV, ratio)
-				}
-			default:
-				if oldV != newV {
-					fmt.Printf("FAIL  %-40s %14.6g != %-14.6g (deterministic metric drifted)\n",
-						key, oldV, newV)
-					failures++
-				} else {
-					fmt.Printf("ok    %-40s %14.6g (exact)\n", key, oldV)
-				}
-			}
-		}
-	}
-	fmt.Printf("benchdiff: %d compared, %d skipped, %d failures\n", compared, skipped, failures)
-	if failures > 0 {
+	fmt.Printf("benchdiff: %d compared, %d skipped, %d failures\n",
+		res.Compared, res.Skipped, res.Failures)
+	if res.Failures > 0 {
 		os.Exit(1)
 	}
 }

@@ -61,3 +61,25 @@ diff "$tmpdir/chaos1.cmp" "$tmpdir/chaos2.cmp"
 diff "$tmpdir/chaos1-metrics.json" "$tmpdir/chaos2-metrics.json"
 diff "$tmpdir/chaos1-trace.json" "$tmpdir/chaos2-trace.json"
 grep -q 'wm restarts' "$tmpdir/chaos1.out"
+
+# Scenario-matrix gate: replay every committed workflow instance under
+# scenarios/ and diff it against its committed per-scenario ledger —
+# deterministic metrics must match exactly, timing metrics stay within the
+# regression threshold (see docs/SCENARIOS.md).
+go run ./scripts/matrix
+
+# Matrix determinism smoke: replay three fast scenarios twice with timing
+# metrics omitted; the fresh ledger directories must be byte-identical.
+fast='laptop-smoke,mini-mummi-two-scale,chaos-store-flaky'
+go run ./scripts/matrix -only "$fast" -outdir "$tmpdir/matrix1" -no-timing
+go run ./scripts/matrix -only "$fast" -outdir "$tmpdir/matrix2" -no-timing
+diff -r "$tmpdir/matrix1" "$tmpdir/matrix2"
+
+# Trace round-trip smoke: export a campaign as a workflow instance, import
+# and canonically re-export it, and require byte identity end to end
+# through the CLI surface.
+go run ./cmd/mummi-sim trace export -scale 0.02 -seed 7 -name ci-roundtrip \
+	-out "$tmpdir/ci-roundtrip.trace.json"
+go run ./cmd/mummi-sim trace import -in "$tmpdir/ci-roundtrip.trace.json" \
+	-out "$tmpdir/ci-roundtrip2.trace.json"
+diff "$tmpdir/ci-roundtrip.trace.json" "$tmpdir/ci-roundtrip2.trace.json"

@@ -1,0 +1,199 @@
+// Command matrix replays the committed scenario catalog — the workflow
+// instances under scenarios/*.trace.json — and gates their per-scenario
+// BENCH_scenario_<name>.json ledgers against drift. It is the `make
+// matrix` entry point and the enumerable form of "as many scenarios as you
+// can imagine": every scenario is a trace file (internal/trace), every
+// replay is deterministic per trace, and every deterministic metric is
+// exact-matched against the committed ledger (internal/benchfmt; timing
+// metrics are thresholded like every other BENCH_*.json).
+//
+// Usage:
+//
+//	go run ./scripts/matrix                         # replay all, gate against committed ledgers
+//	go run ./scripts/matrix -only laptop-smoke      # subset (comma-separated scenario names)
+//	go run ./scripts/matrix -update                 # rewrite the committed ledgers
+//	go run ./scripts/matrix -outdir d -no-timing    # write timing-free ledgers for a determinism diff
+//	go run ./scripts/matrix -list                   # print the catalog and exit
+//
+// The CI smoke replays three fast scenarios twice with -no-timing and
+// byte-diffs the two output directories: a clean diff proves same-seed
+// scenario replays are deterministic end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"mummi/internal/benchfmt"
+	"mummi/internal/campaign"
+	"mummi/internal/trace"
+)
+
+func main() {
+	scenariosDir := flag.String("scenarios", "scenarios", "directory of committed *.trace.json scenarios")
+	outdir := flag.String("outdir", "", "where to write fresh BENCH_scenario_*.json (default: temp dir)")
+	only := flag.String("only", "", "comma-separated scenario names to replay (default: all)")
+	update := flag.Bool("update", false, "rewrite the committed ledgers in -scenarios instead of comparing")
+	threshold := flag.Float64("threshold", 4.0, "max allowed fresh/committed ratio for timing metrics")
+	noTiming := flag.Bool("no-timing", false, "omit wall-clock metrics so ledgers byte-diff across runs")
+	list := flag.Bool("list", false, "print the scenario catalog and exit")
+	flag.Parse()
+
+	if err := run(*scenariosDir, *outdir, *only, *update, *threshold, *noTiming, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "matrix:", err)
+		os.Exit(1)
+	}
+}
+
+// ledgerName is the committed per-scenario report filename.
+func ledgerName(scenario string) string {
+	return "BENCH_scenario_" + strings.ReplaceAll(scenario, "-", "_") + ".json"
+}
+
+func run(scenariosDir, outdir, only string, update bool, threshold float64, noTiming, list bool) error {
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.trace.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.trace.json under %s", scenariosDir)
+	}
+	sort.Strings(paths)
+
+	traces := make(map[string]*trace.Trace, len(paths))
+	var names []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		t, err := trace.Parse(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if want := t.Name + ".trace.json"; filepath.Base(p) != want {
+			return fmt.Errorf("%s: file name does not match trace name %q (want %s)", p, t.Name, want)
+		}
+		traces[t.Name] = t
+		names = append(names, t.Name)
+	}
+
+	if list {
+		for _, name := range names {
+			fmt.Printf("%-24s %s\n", name, traces[name].Description)
+		}
+		return nil
+	}
+
+	selected := names
+	if only != "" {
+		selected = nil
+		for _, name := range strings.Split(only, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := traces[name]; !ok {
+				return fmt.Errorf("unknown scenario %q (see -list)", name)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	if outdir == "" {
+		tmp, err := os.MkdirTemp("", "mummi-matrix")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		outdir = tmp
+	} else if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+
+	failures := 0
+	for _, name := range selected {
+		t := traces[name]
+		rep, wall, err := replay(t, noTiming)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		fresh := filepath.Join(outdir, ledgerName(name))
+		if update {
+			fresh = filepath.Join(scenariosDir, ledgerName(name))
+		}
+		if err := rep.WriteFile(fresh); err != nil {
+			return err
+		}
+		fmt.Printf("matrix: %-24s replayed in %8v  -> %s\n", name, wall.Round(time.Millisecond), fresh)
+		if update {
+			continue
+		}
+		committed := filepath.Join(scenariosDir, ledgerName(name))
+		oldRep, err := benchfmt.Load(committed)
+		if err != nil {
+			return fmt.Errorf("scenario %s has no committed ledger (run -update): %w", name, err)
+		}
+		res, err := benchfmt.Compare(os.Stdout, oldRep, rep, committed, threshold)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		fmt.Printf("matrix: %-24s %d compared, %d skipped, %d failures\n",
+			name, res.Compared, res.Skipped, res.Failures)
+		failures += res.Failures
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d metric(s) drifted from the committed ledgers", failures)
+	}
+	fmt.Printf("matrix: %d scenario(s) clean\n", len(selected))
+	return nil
+}
+
+// replay runs one scenario and distills its deterministic ledger. Every
+// metric except replay_wall_sec is a pure function of the trace, so two
+// replays of the same file produce byte-identical reports (with -no-timing,
+// literally identical files).
+func replay(t *trace.Trace, noTiming bool) (*benchfmt.Report, time.Duration, error) {
+	cfg, err := t.Config()
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	wall := time.Since(start)
+
+	rep := benchfmt.New(0, cfg.Seed, false, 0)
+	scenario := map[string]float64{
+		"runs_done":           float64(res.RunsDone),
+		"node_hours":          float64(res.TotalNodeHours),
+		"matcher_visits":      float64(res.MatcherVisits),
+		"snapshots":           float64(res.Snapshots),
+		"patches":             float64(res.Patches),
+		"cg_selected":         float64(res.CGSelected),
+		"cg_frames":           float64(res.CGFrames),
+		"cg_frame_candidates": float64(res.CGFrameCandidates),
+		"aa_selected":         float64(res.AASelected),
+		"files":               float64(res.Files),
+		"bytes":               float64(res.Bytes),
+		"injected_failures":   float64(res.InjectedFailures),
+		"anomalies":           float64(len(res.Anomalies)),
+	}
+	if !noTiming {
+		scenario["replay_wall_sec"] = wall.Seconds()
+	}
+	rep.Record("scenario", scenario)
+	if cfg.Faults != nil {
+		rep.Record("chaos", map[string]float64{
+			"node_crashes":     float64(res.NodeCrashes),
+			"job_hangs":        float64(res.JobHangs),
+			"wm_restarts":      float64(res.WMRestarts),
+			"store_put_errors": float64(res.StorePutErrors),
+		})
+	}
+	return rep, wall, nil
+}
