@@ -82,18 +82,22 @@ chaos:
 # thresholded. See docs/SCENARIOS.md.
 matrix:
 	$(GO) run ./scripts/matrix
+	$(GO) run ./scripts/matrix -scenarios scenarios/generated
 
 # Rewrite the committed per-scenario ledgers after an intentional
 # behaviour change; commit the resulting diff alongside the change that
 # caused it.
 matrix-update:
 	$(GO) run ./scripts/matrix -update
+	$(GO) run ./scripts/matrix -scenarios scenarios/generated -update
 
-# Regenerate the committed scenario files from the named catalog
-# (internal/trace/catalog.go). TestCommittedScenariosMatchCatalog pins
-# scenarios/*.trace.json to exactly this output.
+# Regenerate the committed scenario files: the named catalog
+# (internal/trace/catalog.go) plus the fixed Gen(42, 3) sweep that ci.sh
+# gates under scenarios/generated/. TestCommittedScenariosMatchCatalog
+# pins scenarios/*.trace.json to exactly the catalog output.
 scenarios:
 	$(GO) run ./cmd/mummi-sim trace gen -catalog -outdir scenarios
+	$(GO) run ./cmd/mummi-sim trace gen -seed 42 -n 3 -outdir scenarios/generated
 
 ci:
 	./scripts/ci.sh

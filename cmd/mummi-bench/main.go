@@ -50,19 +50,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object of per-experiment metrics instead of text")
 	faultSpec := flag.String("faults", "",
 		"chaos plan for the campaign replay: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md)")
+	wmInstances := flag.Int("wm-instances", 1,
+		"workflow-manager fleet size for the campaign replay (>1 = lease-coordinated distributed WM; see docs/RESILIENCE.md)")
 	traceIn := flag.String("trace-in", "",
 		"workflow instance for the campaign replay (replaces -scale/-seed/-faults for it; see docs/SCENARIOS.md)")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *seed, *full, *workers, *jsonOut, *faultSpec, *traceIn, &tf); err != nil {
+	if err := run(*exp, *scale, *seed, *full, *workers, *wmInstances, *jsonOut, *faultSpec, *traceIn, &tf); err != nil {
 		fmt.Fprintln(os.Stderr, "mummi-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut bool, faultSpec, traceIn string, tf *telemetry.Flags) error {
+func run(exp string, scale float64, seed int64, full bool, workers, wmInstances int, jsonOut bool, faultSpec, traceIn string, tf *telemetry.Flags) error {
 	valid := map[string]bool{"all": true, "table1": true, "fig3": true,
 		"fig4": true, "fig5": true, "fig6": true, "counts": true,
 		"fig7": true, "fig8": true, "fluxfix": true, "taridx": true,
@@ -134,11 +136,18 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 			opts := campaign.Options{
 				Scale: scale, Seed: seed, Workers: workers,
 				FeedbackEvery: feedbackEvery, FaultSpec: faultSpec,
+				WMInstances: wmInstances,
 			}
 			var err error
 			if cfg, err = opts.Build(); err != nil {
 				return err
 			}
+		}
+		// Fleet replays need a live registry even when no -metrics/-trace
+		// flag asked for one: the fleet section below reads the lease
+		// renew-age histogram back out of it.
+		if cfg.WMInstances > 1 && tel == nil {
+			tel = telemetry.New(telemetry.Options{})
 		}
 		cfg.Telemetry = tel
 		if tf.HeartbeatEvery > 0 {
@@ -197,6 +206,32 @@ func run(exp string, scale float64, seed int64, full bool, workers int, jsonOut 
 				"store_put_errors": float64(res.StorePutErrors),
 				"anomalies":        float64(len(res.Anomalies)),
 			})
+		}
+		if cfg.WMInstances > 1 {
+			reg := tel.Registry()
+			m := map[string]float64{
+				"wm_instances":            float64(cfg.WMInstances),
+				"wm_crashes":              float64(res.WMCrashes),
+				"wm_adoptions_total":      float64(res.WMAdoptions),
+				"lease_expirations_total": float64(res.LeaseExpirations),
+				"lease_renewals_total":    float64(reg.Counter("wmfleet.lease_renewals_total").Value()),
+			}
+			// Renew-age histogram summary: how far into their TTL leases
+			// were when renewed (virtual time, so deterministic per seed).
+			for _, h := range reg.Snapshot().Histograms {
+				if h.Name != "wmfleet.lease_renew_age_ms" || h.Count == 0 {
+					continue
+				}
+				m["lease_renew_age_count"] = float64(h.Count)
+				m["lease_renew_age_mean_ms"] = h.Sum / float64(h.Count)
+				m["lease_renew_age_min_ms"] = h.Min
+				m["lease_renew_age_max_ms"] = h.Max
+			}
+			if !jsonOut {
+				fmt.Printf("fleet: %d wm instances, %d crashes, %d adoptions, %d lease expirations\n\n",
+					cfg.WMInstances, res.WMCrashes, res.WMAdoptions, res.LeaseExpirations)
+			}
+			record("fleet", m)
 		}
 	}
 

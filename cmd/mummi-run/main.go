@@ -62,6 +62,8 @@ func main() {
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
 	faultSpec := flag.String("faults", "",
 		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
+	wmInstances := flag.Int("wm-instances", 1,
+		"workflow-manager fleet size (>1 spreads couplings across a lease-coordinated fleet; see docs/RESILIENCE.md)")
 	traceIn := flag.String("trace-in", "", "replay this workflow instance instead of -config/-scale")
 	traceOut := flag.String("trace-out", "", "export the effective campaign configuration as a workflow instance")
 	traceName := flag.String("trace-name", "exported", "scenario name to record in -trace-out")
@@ -77,7 +79,7 @@ func main() {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "config", "scale", "seed", "scales", "feedback-every", "faults":
+			case "config", "scale", "seed", "scales", "feedback-every", "faults", "wm-instances":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -126,6 +128,7 @@ func main() {
 		}
 		cfg.Scales = campaign.ScaleMode(*scales)
 		cfg.FeedbackEvery = *feedbackEvery
+		cfg.WMInstances = *wmInstances
 		if *faultSpec != "" {
 			plan, err := faults.ParseFlag(*faultSpec)
 			if err != nil {
@@ -140,6 +143,7 @@ func main() {
 		opts := campaign.Options{
 			Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
 			FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+			WMInstances: *wmInstances,
 		}
 		var err error
 		if cfg, err = opts.Build(); err != nil {
@@ -190,6 +194,10 @@ func main() {
 		for _, a := range res.Anomalies {
 			fmt.Println("  " + a)
 		}
+	}
+	if cfg.WMInstances > 1 {
+		fmt.Printf("fleet: %d wm instances, %d crashes, %d adoptions, %d lease expirations\n",
+			cfg.WMInstances, res.WMCrashes, res.WMAdoptions, res.LeaseExpirations)
 	}
 
 	if err := tf.Finish(tel, srv); err != nil {

@@ -97,6 +97,8 @@ func runCampaign(args []string) error {
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
 	faultSpec := fs.String("faults", "",
 		"chaos plan: JSON file, inline JSON, or 'class:rate;...' spec (see docs/RESILIENCE.md; empty = no faults)")
+	wmInstances := fs.Int("wm-instances", 1,
+		"workflow-manager fleet size (>1 spreads couplings across a lease-coordinated fleet; see docs/RESILIENCE.md)")
 	traceIn := fs.String("trace-in", "", "replay this workflow instance instead of the configuration flags")
 	traceOut := fs.String("trace-out", "", "export the effective campaign configuration as a workflow instance")
 	traceName := fs.String("trace-name", "exported", "scenario name to record in -trace-out")
@@ -115,7 +117,7 @@ func runCampaign(args []string) error {
 		var conflict []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scale", "seed", "scales", "feedback-every", "faults":
+			case "scale", "seed", "scales", "feedback-every", "faults", "wm-instances":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -134,6 +136,7 @@ func runCampaign(args []string) error {
 		opts := campaign.Options{
 			Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
 			FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+			WMInstances: *wmInstances,
 		}
 		if cfg, err = opts.Build(); err != nil {
 			return err
@@ -171,6 +174,10 @@ func runCampaign(args []string) error {
 		for _, a := range res.Anomalies {
 			fmt.Println("  " + a)
 		}
+	}
+	if cfg.WMInstances > 1 {
+		fmt.Printf("campaign: fleet %d wm instances, %d crashes, %d adoptions, %d lease expirations\n",
+			cfg.WMInstances, res.WMCrashes, res.WMAdoptions, res.LeaseExpirations)
 	}
 
 	if err := tf.Finish(tel, srv); err != nil {
@@ -241,6 +248,8 @@ func runTraceExport(args []string) error {
 	feedbackEvery := fs.Duration("feedback-every", 30*time.Minute,
 		"Task-4 feedback cadence in campaign virtual time (0 = off)")
 	faultSpec := fs.String("faults", "", "chaos plan (see docs/RESILIENCE.md; empty = no faults)")
+	wmInstances := fs.Int("wm-instances", 1,
+		"workflow-manager fleet size to record (see docs/RESILIENCE.md)")
 	name := fs.String("name", "exported", "scenario name to record in the trace")
 	desc := fs.String("desc", "exported by mummi-sim trace export", "scenario description")
 	out := fs.String("out", "", "output file (default: <name>.trace.json)")
@@ -249,6 +258,7 @@ func runTraceExport(args []string) error {
 	opts := campaign.Options{
 		Scale: *scale, Seed: *seed, Scales: campaign.ScaleMode(*scales),
 		FeedbackEvery: *feedbackEvery, FaultSpec: *faultSpec,
+		WMInstances: *wmInstances,
 	}
 	cfg, err := opts.Build()
 	if err != nil {

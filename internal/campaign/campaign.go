@@ -72,6 +72,11 @@ type Campaign struct {
 	// eng injects the chaos plan (nil when Config.Faults is nil).
 	eng *faults.Engine
 
+	// fleetStore carries the distributed-WM fleet's lease and checkpoint
+	// traffic (wired when Config.WMInstances > 1; shares the feedback
+	// store's armored stack when that exists).
+	fleetStore datastore.Store
+
 	recs    map[string]*simRecord
 	walks   [][]float64 // per-protein 9-D encodings, random-walking
 	nextCG  int
@@ -139,6 +144,19 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 			srcNS: "cg-active", dstNS: "cg-done", perProcess: fbCGProcess}
 		c.aaFB = &modeledFeedback{name: "aa-to-cg", store: c.fbStore,
 			srcNS: "aa-active", dstNS: "aa-done", perProcess: fbAAProcess}
+	}
+	if cfg.WMInstances > 1 {
+		// The fleet's lease/checkpoint traffic crosses the same armored
+		// stack as the feedback loop, so injected store faults hit lease
+		// renewals exactly like any other store client. Without feedback a
+		// dedicated stack is built with identical layering.
+		if c.fbStore != nil {
+			c.fleetStore = c.fbStore
+		} else {
+			c.fleetStore = datastore.Armor(
+				faults.WrapStore(datastore.Instrument(datastore.NewMemory(), c.tel, "memory"), c.eng),
+				c.tel, "memory", datastore.ArmorOptions{})
+		}
 	}
 	for _, r := range cfg.Runs {
 		c.totalWall += time.Duration(r.Count) * r.Wall
@@ -255,7 +273,13 @@ func continuumNodes(nodes int) int {
 }
 
 // runOne executes a single allocation. ckpt carries WM state across runs.
+// Fleet campaigns (WMInstances > 1) branch to the fleet analogue; the
+// single-WM path below is untouched by the fleet work, so WMInstances=1
+// replays stay event-for-event identical to earlier releases.
 func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]TimelinePoint, error) {
+	if c.cfg.WMInstances > 1 {
+		return c.runOneFleet(spec, ckpt, keepTimeline)
+	}
 	machine, err := cluster.New(cluster.Summit(spec.Nodes))
 	if err != nil {
 		return nil, err
@@ -399,56 +423,7 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	// rebuilt machine).
 	runActive := true
 	if c.eng != nil {
-		c.eng.SetHandler(faults.NodeCrash, func(r faults.Rule, rng *rand.Rand) {
-			if !runActive {
-				return
-			}
-			node := rng.Intn(machine.NumNodes())
-			// Bank progress for the sims dying with the node; the workflow
-			// resubmits them and they resume from the banked progress (the
-			// simulations' own checkpoints survive the node).
-			for _, id := range c.sortedActiveIDs() {
-				job, ok := s.Job(id)
-				if ok && job.State == sched.Running && allocOnNode(job.Alloc, node) {
-					c.bankActive(id)
-				}
-			}
-			victims := s.Crash(node)
-			c.res.NodeCrashes++
-			msg := fmt.Sprintf("node-crash node=%d killed=%d recovery=%s", node, len(victims), r.Recovery)
-			c.noteFault(msg)
-			c.eng.Note(msg)
-			c.clk.After(r.Recovery, func() {
-				if !runActive {
-					return
-				}
-				s.Revive(node)
-				c.noteFault(fmt.Sprintf("node-revive node=%d", node))
-			})
-		})
-		c.eng.SetHandler(faults.JobHang, func(r faults.Rule, rng *rand.Rand) {
-			if !runActive {
-				return
-			}
-			ids := c.sortedActiveIDs()
-			if len(ids) == 0 {
-				return
-			}
-			id := ids[rng.Intn(len(ids))]
-			if !s.Hang(id) {
-				return
-			}
-			// Bank progress up to the wedge; from here the job holds its GPU
-			// while advancing nothing (zero rate) until the watchdog kills it
-			// or the allocation ends.
-			c.bankActive(id)
-			aj := c.active[id]
-			c.active[id] = activeJob{simID: aj.simID, start: c.clk.Now()}
-			c.res.JobHangs++
-			msg := fmt.Sprintf("job-hang job=%d sim=%s", id, aj.simID)
-			c.noteFault(msg)
-			c.eng.Note(msg)
-		})
+		c.bindCommonChaos(s, machine, &runActive)
 		c.eng.SetHandler(faults.WMCrash, func(faults.Rule, *rand.Rand) {
 			if !runActive {
 				return
@@ -528,11 +503,78 @@ func (c *Campaign) runOne(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]Time
 	return nil, nil
 }
 
+// bindCommonChaos rebinds the node-crash and job-hang fault classes to one
+// allocation's scheduler and machine; *runActive gates stale events (a node
+// revival armed in one allocation must not touch the next one's rebuilt
+// machine). The wm-crash class is bound separately by each coordination
+// path: restart in the single-WM loop, instance crash + adoption in the
+// fleet.
+func (c *Campaign) bindCommonChaos(s *sched.Scheduler, machine *cluster.Machine, runActive *bool) {
+	c.eng.SetHandler(faults.NodeCrash, func(r faults.Rule, rng *rand.Rand) {
+		if !*runActive {
+			return
+		}
+		node := rng.Intn(machine.NumNodes())
+		// Bank progress for the sims dying with the node; the workflow
+		// resubmits them and they resume from the banked progress (the
+		// simulations' own checkpoints survive the node).
+		for _, id := range c.sortedActiveIDs() {
+			job, ok := s.Job(id)
+			if ok && job.State == sched.Running && allocOnNode(job.Alloc, node) {
+				c.bankActive(id)
+			}
+		}
+		victims := s.Crash(node)
+		c.res.NodeCrashes++
+		msg := fmt.Sprintf("node-crash node=%d killed=%d recovery=%s", node, len(victims), r.Recovery)
+		c.noteFault(msg)
+		c.eng.Note(msg)
+		c.clk.After(r.Recovery, func() {
+			if !*runActive {
+				return
+			}
+			s.Revive(node)
+			c.noteFault(fmt.Sprintf("node-revive node=%d", node))
+		})
+	})
+	c.eng.SetHandler(faults.JobHang, func(r faults.Rule, rng *rand.Rand) {
+		if !*runActive {
+			return
+		}
+		ids := c.sortedActiveIDs()
+		if len(ids) == 0 {
+			return
+		}
+		id := ids[rng.Intn(len(ids))]
+		if !s.Hang(id) {
+			return
+		}
+		// Bank progress up to the wedge; from here the job holds its GPU
+		// while advancing nothing (zero rate) until the watchdog kills it
+		// or the allocation ends.
+		c.bankActive(id)
+		aj := c.active[id]
+		c.active[id] = activeJob{simID: aj.simID, start: c.clk.Now()}
+		c.res.JobHangs++
+		msg := fmt.Sprintf("job-hang job=%d sim=%s", id, aj.simID)
+		c.noteFault(msg)
+		c.eng.Note(msg)
+	})
+}
+
+// wmView is what the campaign's shared observers (Task-1 snapshot ingest,
+// the heartbeat) need from a coordination layer — satisfied by both the
+// single *core.Workflow and the distributed *wmfleet.Fleet.
+type wmView interface {
+	AddCandidate(coupling string, p dynim.Point) error
+	Stats() []core.CouplingStats
+}
+
 // heartbeatLine renders one status line: machine occupancy, scheduler
 // queue state, and per-coupling progress — the numbers an operator watches
 // to keep a multi-day allocation alive.
 func (c *Campaign) heartbeatLine(now time.Time, run int, spec RunSpec,
-	machine *cluster.Machine, s *sched.Scheduler, wm *core.Workflow) string {
+	machine *cluster.Machine, s *sched.Scheduler, wm wmView) string {
 	q, running, finished := s.Counts()
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%s] run %d (%dn): gpu=%.0f%% cpu=%.0f%% queued=%d running=%d done=%d",
@@ -550,7 +592,7 @@ func (c *Campaign) heartbeatLine(now time.Time, run int, spec RunSpec,
 // data products. In the two-scale regime the snapshot is read from an
 // archive rather than produced, so only patch products are accounted — no
 // continuum time, performance sample, or snapshot file.
-func (c *Campaign) onSnapshot(wm *core.Workflow, contNodes int) {
+func (c *Campaign) onSnapshot(wm wmView, contNodes int) {
 	c.res.Snapshots++
 	if c.cfg.Scales == ThreeScale {
 		c.res.ContinuumTotal += 1 * units.Microsecond

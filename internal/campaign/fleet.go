@@ -1,0 +1,283 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mummi/internal/cluster"
+	"mummi/internal/core"
+	"mummi/internal/faults"
+	"mummi/internal/maestro"
+	"mummi/internal/profile"
+	"mummi/internal/sched"
+	"mummi/internal/sim"
+	"mummi/internal/telemetry"
+	"mummi/internal/units"
+	"mummi/internal/vclock"
+	"mummi/internal/wmfleet"
+)
+
+// runOneFleet executes a single allocation with a distributed WM fleet
+// (Config.WMInstances > 1) — the fleet analogue of runOne: same cluster,
+// scheduler, snapshot stream, failure injection, and teardown, but the
+// couplings are spread across N workflow managers coordinating ownership
+// through store leases (internal/wmfleet). An injected wm-crash kills one
+// instance and a survivor adopts its couplings; the conductor is never
+// restarted. The checkpoint carried across allocations stays in the
+// single-WM format, so fleet size can change between campaigns.
+func (c *Campaign) runOneFleet(spec RunSpec, ckpt *[]byte, keepTimeline bool) ([]TimelinePoint, error) {
+	machine, err := cluster.New(cluster.Summit(spec.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	statusPoll := time.Duration(0)
+	if c.cfg.ModelStatusLoad {
+		statusPoll = c.cfg.ProfileEvery
+	}
+	s, err := sched.New(c.clk, sched.Config{
+		Machine: machine, Policy: c.cfg.SchedPolicy, Mode: c.cfg.SchedMode,
+		Costs: c.cfg.SchedCosts, StatusPollEvery: statusPoll,
+		Telemetry: c.tel,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalGPUs := machine.Topology().TotalGPUs()
+	cgSlots := int(float64(totalGPUs) * c.cfg.CGShare)
+	aaSlots := totalGPUs - cgSlots
+	if aaSlots < 1 {
+		aaSlots = 1
+	}
+	c.active = make(map[sched.JobID]activeJob)
+
+	contNodes := continuumNodes(spec.Nodes)
+	contRate := sim.ContinuumPerf(contNodes * 24)
+	var staticJobs []sched.Request
+	if c.cfg.Scales == ThreeScale {
+		staticJobs = []sched.Request{
+			{Name: "continuum", NodeCount: contNodes, Cores: 24},
+		}
+	}
+
+	var wdGrace float64
+	if c.eng != nil {
+		wdGrace = chaosWatchdogGrace
+	}
+	fl, err := wmfleet.New(wmfleet.Config{
+		Clock:     c.clk,
+		Backend:   maestro.FluxBackend{S: s},
+		Store:     c.fleetStore,
+		Telemetry: c.tel,
+		Instances: c.cfg.WMInstances,
+		Couplings: []core.CouplingSpec{
+			c.cgCoupling(cgSlots, max(2, spec.Nodes*2/3)),
+			c.aaCoupling(aaSlots, max(1, spec.Nodes/3)),
+		},
+		StaticJobs:      staticJobs,
+		PollEvery:       c.cfg.PollEvery,
+		Seed:            c.cfg.Seed + int64(c.res.RunsDone),
+		SubmitPerMinute: c.cfg.SubmitPerMinute,
+		WatchdogGrace:   wdGrace,
+		// Per-allocation namespaces: an adopter's still-live lease from
+		// one allocation must never block the next allocation's initial
+		// owner from acquiring.
+		Namespace: fmt.Sprintf("wmfleet-r%03d", c.res.RunsDone),
+		OnEvent:   c.noteFault,
+		OnAnomaly: func(msg string) {
+			c.res.Anomalies = append(c.res.Anomalies, msg)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *ckpt != nil {
+		if err := fl.Restore(*ckpt); err != nil {
+			return nil, err
+		}
+	}
+
+	prof := profile.New(c.clk, c.cfg.ProfileEvery, func() profile.Event {
+		q, running, _ := s.Counts()
+		return profile.Event{
+			GPUFrac: machine.GPUOccupancy(),
+			CPUFrac: machine.CPUOccupancy(),
+			Running: running, Pending: q,
+		}
+	})
+
+	// Continuum snapshot stream: one snapshot per µs of continuum time.
+	// The fleet routes each patch to whichever instance owns the coupling
+	// at arrival time; while ownership is in flight the shared selectors
+	// hold the candidates.
+	runEnd := c.clk.Now().Add(spec.Wall)
+	snapshotsActive := true
+	var scheduleSnapshot func()
+	scheduleSnapshot = func() {
+		wall := contRate.WallFor(1 * units.Microsecond)
+		c.clk.After(wall, func() {
+			if !snapshotsActive || c.clk.Now().After(runEnd) {
+				return
+			}
+			c.onSnapshot(fl, contNodes)
+			scheduleSnapshot()
+		})
+	}
+	scheduleSnapshot()
+
+	var failTicker *vclock.Ticker
+	if c.cfg.FailuresPerDay > 0 {
+		perTick := c.cfg.FailuresPerDay / 48
+		failTicker = vclock.NewTicker(c.clk, 30*time.Minute, func(time.Time) {
+			if c.rng.Float64() >= perTick {
+				return
+			}
+			victim := c.pickActiveJob()
+			if victim == 0 {
+				return
+			}
+			c.bankActive(victim)
+			delete(c.active, victim)
+			c.res.InjectedFailures++
+			if err := s.Fail(victim); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
+				c.res.Anomalies = append(c.res.Anomalies,
+					fmt.Sprintf("fail-injection job %d: %v", victim, err))
+			}
+		})
+	}
+
+	runActive := true
+	if c.eng != nil {
+		c.bindCommonChaos(s, machine, &runActive)
+		c.eng.SetHandler(faults.WMCrash, func(r faults.Rule, rng *rand.Rand) {
+			if !runActive {
+				return
+			}
+			c.fleetCrash(s, fl, r, rng)
+		})
+	}
+
+	var hb *telemetry.Heartbeat
+	if c.cfg.HeartbeatEvery > 0 && c.cfg.HeartbeatWriter != nil {
+		run := c.res.RunsDone + 1
+		hb = telemetry.NewHeartbeat(c.clk, c.cfg.HeartbeatEvery, c.cfg.HeartbeatWriter,
+			func(now time.Time) string {
+				return c.heartbeatLine(now, run, spec, machine, s, fl)
+			})
+	}
+
+	if err := fl.Start(); err != nil {
+		return nil, err
+	}
+	start := c.clk.Now()
+	c.clk.RunUntil(runEnd)
+	if failTicker != nil {
+		failTicker.Stop()
+	}
+	if hb != nil {
+		hb.Stop()
+	}
+	c.tel.RecordSpan("campaign", "allocation", start, c.clk.Now().Sub(start),
+		"run", c.res.RunsDone+1, "nodes", spec.Nodes, "wm_instances", c.cfg.WMInstances)
+
+	// Allocation over: stop producers, flush every instance's conductor,
+	// settle running simulations, and checkpoint the fleet into the
+	// single-WM format.
+	snapshotsActive = false
+	runActive = false
+	fl.Stop()
+	prof.Stop()
+	s.Close()
+	ids := make([]sched.JobID, 0, len(c.active))
+	for id := range c.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		aj := c.active[id]
+		job, ok := s.Job(id)
+		if !ok || job.State != sched.Running {
+			continue
+		}
+		c.settle(aj.simID, aj.rate.SimFor(c.clk.Now().Sub(aj.start)), false)
+	}
+	c.active = nil
+	b, err := fl.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	*ckpt = b
+
+	acc := fl.Accounting()
+	c.res.WMCrashes += acc.Crashes
+	c.res.WMAdoptions += acc.Adoptions
+	c.res.LeaseExpirations += acc.LeaseExpirations
+
+	for _, ev := range prof.Events() {
+		c.res.ProfileEvents = append(c.res.ProfileEvents, ev)
+	}
+	c.res.RunsDone++
+	c.res.TotalNodeHours += units.NodeHoursFor(spec.Nodes, spec.Wall)
+	c.res.MatcherVisits += s.MatcherVisits()
+
+	if keepTimeline {
+		var tl []TimelinePoint
+		for _, p := range s.Timeline() {
+			tl = append(tl, TimelinePoint{Offset: p.Time.Sub(start), Job: int64(p.Job)})
+		}
+		return tl, nil
+	}
+	return nil, nil
+}
+
+// fleetCrash handles one injected wm-crash in the fleet path: pick the
+// victim (the rule's pinned instance, or a random live one when the rule
+// leaves it open), crash it through the fleet — which flushes its
+// couplings' checkpoints through the store and leaves its leases to expire
+// — then bank and kill the dead instance's tracked jobs. Every selected
+// configuration is in the flushed checkpoints, so the adopting instance
+// resubmits them with no selection lost; static jobs (the continuum) are
+// untracked and survive. The crash is refused when it would kill the last
+// live instance.
+func (c *Campaign) fleetCrash(s *sched.Scheduler, fl *wmfleet.Fleet, r faults.Rule, rng *rand.Rand) {
+	live := fl.LiveInstances()
+	if len(live) <= 1 {
+		c.noteFault("wm-crash skipped: one live instance left")
+		return
+	}
+	var victim int
+	if r.Instance > 0 {
+		victim = r.Instance - 1
+		if !fl.Alive(victim) {
+			c.noteFault(fmt.Sprintf("wm-crash skipped: instance %d not live", r.Instance))
+			return
+		}
+	} else {
+		victim = live[rng.Intn(len(live))]
+	}
+	info, err := fl.Crash(victim)
+	if err != nil {
+		c.noteFault(fmt.Sprintf("wm-crash failed: %v", err))
+		return
+	}
+	orphans := 0
+	for _, id := range info.Jobs {
+		c.bankActive(id)
+		delete(c.active, id)
+		if job, ok := s.Job(id); ok && job.State == sched.Running {
+			if err := s.Fail(id); err != nil && !errors.Is(err, sched.ErrAlreadyTerminal) {
+				c.res.Anomalies = append(c.res.Anomalies,
+					fmt.Sprintf("wm-crash kill job %d: %v", id, err))
+			}
+		} else if !s.Cancel(id) {
+			orphans++ // mid-match: it will run and finish unobserved
+		}
+	}
+	msg := fmt.Sprintf("wm-crash instance=%d killed=%d couplings=%d orphans=%d",
+		victim+1, len(info.Jobs), len(info.Couplings), orphans)
+	c.noteFault(msg)
+	c.eng.Note(msg)
+}

@@ -28,6 +28,9 @@ type Options struct {
 	// FaultSpec is the -faults flag value: a JSON plan file, inline JSON, or
 	// the class:rate DSL (see faults.ParseFlag); empty means no chaos.
 	FaultSpec string
+	// WMInstances sizes the distributed WM fleet (0 or 1 = the classic
+	// single-WM loop; see Config.WMInstances).
+	WMInstances int
 }
 
 // Build resolves the options into a campaign configuration. The returned
@@ -38,6 +41,12 @@ func (o Options) Build() (Config, error) {
 	cfg.Seed = o.Seed
 	cfg.SelectorWorkers = o.Workers
 	cfg.FeedbackEvery = o.FeedbackEvery
+	if o.WMInstances < 0 {
+		return Config{}, fmt.Errorf("campaign: wm instances must be >= 1, got %d", o.WMInstances)
+	}
+	if o.WMInstances > 0 {
+		cfg.WMInstances = o.WMInstances
+	}
 	if o.Scales != "" {
 		if !o.Scales.Valid() {
 			return Config{}, fmt.Errorf("campaign: unknown scale mode %q", o.Scales)

@@ -84,6 +84,14 @@ type Result struct {
 	WMRestarts     int `json:"wm_restarts,omitempty"`
 	StorePutErrors int `json:"store_put_errors,omitempty"`
 
+	// Distributed-WM fleet ledger (Config.WMInstances > 1): instance
+	// crashes, couplings adopted by survivors, and expired-lease takeovers
+	// (see internal/wmfleet). Zero-valued — and therefore absent from the
+	// JSON — in single-WM campaigns.
+	WMCrashes        int `json:"wm_crashes,omitempty"`
+	WMAdoptions      int `json:"wm_adoptions,omitempty"`
+	LeaseExpirations int `json:"lease_expirations,omitempty"`
+
 	// Anomalies records events that were survivable but must not vanish
 	// (errdiscipline): coordination errors (e.g. a failure-injection victim
 	// the scheduler no longer considered running) and, in chaos replays,

@@ -112,6 +112,12 @@ type Config struct {
 	// Telemetry receives per-task spans and WM metrics (nil = discarded).
 	// See docs/OBSERVABILITY.md for the emitted names.
 	Telemetry *telemetry.Telemetry
+	// AllowNoCouplings permits building a Workflow with an empty coupling
+	// set. A distributed-fleet standby instance starts with nothing to
+	// manage and gains couplings at runtime through AdoptCoupling; outside
+	// that use an empty set is almost certainly a misconfiguration, so the
+	// default keeps rejecting it.
+	AllowNoCouplings bool
 }
 
 // CouplingStats reports one coupling's live state.
@@ -202,7 +208,7 @@ func New(cfg Config) (*Workflow, error) {
 	if cfg.Clock == nil || cfg.Conductor == nil {
 		return nil, errors.New("core: config needs a clock and a conductor")
 	}
-	if len(cfg.Couplings) == 0 {
+	if len(cfg.Couplings) == 0 && !cfg.AllowNoCouplings {
 		return nil, errors.New("core: no couplings configured")
 	}
 	if cfg.PollEvery <= 0 {
@@ -625,20 +631,25 @@ func (w *Workflow) Stats() []CouplingStats {
 	defer w.mu.Unlock()
 	out := make([]CouplingStats, len(w.couplings))
 	for i, cs := range w.couplings {
-		out[i] = CouplingStats{
-			Name:          cs.spec.Name,
-			Candidates:    cs.spec.Selector.Len(),
-			Ready:         len(cs.ready),
-			InSetup:       cs.inSetup + cs.pendingSetup + len(cs.redoSetup),
-			Running:       cs.running + cs.pendingSim,
-			Launched:      cs.launched,
-			CompletedSims: cs.completed,
-			FailedSims:    cs.failedSims,
-			FailedSetups:  cs.failedSetups,
-			FeedbackRuns:  cs.feedbackRuns,
-		}
+		out[i] = w.couplingStatsLocked(cs)
 	}
 	return out
+}
+
+// couplingStatsLocked snapshots one coupling's state. Caller holds mu.
+func (w *Workflow) couplingStatsLocked(cs *couplingState) CouplingStats {
+	return CouplingStats{
+		Name:          cs.spec.Name,
+		Candidates:    cs.spec.Selector.Len(),
+		Ready:         len(cs.ready),
+		InSetup:       cs.inSetup + cs.pendingSetup + len(cs.redoSetup),
+		Running:       cs.running + cs.pendingSim,
+		Launched:      cs.launched,
+		CompletedSims: cs.completed,
+		FailedSims:    cs.failedSims,
+		FailedSetups:  cs.failedSetups,
+		FeedbackRuns:  cs.feedbackRuns,
+	}
 }
 
 // FeedbackReports returns the recorded feedback reports for a coupling.
@@ -694,6 +705,37 @@ func (w *Workflow) sortedJobIDsLocked() []sched.JobID {
 	return ids
 }
 
+// couplingCkptLocked captures one coupling's checkpoint record. ids is the
+// sorted live-job sweep shared by every coupling. Caller holds mu.
+func (w *Workflow) couplingCkptLocked(cs *couplingState, ids []sched.JobID) (couplingCkpt, error) {
+	c := couplingCkpt{
+		Name:      cs.spec.Name,
+		Ready:     append([]dynim.Point(nil), cs.ready...),
+		InSetup:   append([]dynim.Point(nil), cs.redoSetup...),
+		Launched:  cs.launched,
+		Completed: cs.completed,
+	}
+	for _, id := range ids {
+		rec := w.jobs[id]
+		if w.couplings[rec.coupling] != cs {
+			continue
+		}
+		if rec.role == roleSim {
+			c.RunningSims = append(c.RunningSims, rec.point)
+		} else {
+			c.InSetup = append(c.InSetup, rec.point)
+		}
+	}
+	if ckp, ok := cs.spec.Selector.(Checkpointer); ok {
+		b, err := ckp.Checkpoint()
+		if err != nil {
+			return couplingCkpt{}, err
+		}
+		c.Selector = b
+	}
+	return c, nil
+}
+
 // Checkpoint serializes the WM's recoverable state.
 func (w *Workflow) Checkpoint() ([]byte, error) {
 	w.mu.Lock()
@@ -704,34 +746,32 @@ func (w *Workflow) Checkpoint() ([]byte, error) {
 	// serves every coupling.
 	ids := w.sortedJobIDsLocked()
 	for _, cs := range w.couplings {
-		c := couplingCkpt{
-			Name:      cs.spec.Name,
-			Ready:     append([]dynim.Point(nil), cs.ready...),
-			InSetup:   append([]dynim.Point(nil), cs.redoSetup...),
-			Launched:  cs.launched,
-			Completed: cs.completed,
-		}
-		for _, id := range ids {
-			rec := w.jobs[id]
-			if w.couplings[rec.coupling] != cs {
-				continue
-			}
-			if rec.role == roleSim {
-				c.RunningSims = append(c.RunningSims, rec.point)
-			} else {
-				c.InSetup = append(c.InSetup, rec.point)
-			}
-		}
-		if ckp, ok := cs.spec.Selector.(Checkpointer); ok {
-			b, err := ckp.Checkpoint()
-			if err != nil {
-				return nil, err
-			}
-			c.Selector = b
+		c, err := w.couplingCkptLocked(cs, ids)
+		if err != nil {
+			return nil, err
 		}
 		ck.Couplings = append(ck.Couplings, c)
 	}
 	return json.Marshal(ck)
+}
+
+// CheckpointCoupling serializes a single coupling's recoverable state as a
+// standalone document — the per-coupling unit a distributed WM fleet writes
+// through the datastore so a surviving instance can adopt the coupling
+// after its owner crashes. The document is the same shape as one entry of
+// the full Checkpoint and is accepted by RestoreCoupling and AdoptCoupling.
+func (w *Workflow) CheckpointCoupling(name string) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cs := w.findCoupling(name)
+	if cs == nil {
+		return nil, fmt.Errorf("core: unknown coupling %q", name)
+	}
+	c, err := w.couplingCkptLocked(cs, w.sortedJobIDsLocked())
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
 }
 
 // RestoreState rehydrates a Workflow built with the same coupling specs
@@ -753,19 +793,144 @@ func (w *Workflow) RestoreState(data []byte) error {
 		if cs == nil {
 			return fmt.Errorf("core: checkpoint has unknown coupling %q", c.Name)
 		}
-		// Resumed simulations go to the front of the ready queue: they
-		// re-enter the machine first, without a new setup.
-		cs.ready = append([]dynim.Point(nil), c.RunningSims...)
-		cs.ready = append(cs.ready, c.Ready...)
-		cs.launched = c.Launched - len(c.RunningSims)
-		if cs.launched < 0 {
-			cs.launched = 0
-		}
-		cs.completed = c.Completed
-		// Interrupted setups re-run (their selection already happened).
-		cs.redoSetup = append(cs.redoSetup, c.InSetup...)
+		restoreCouplingState(cs, c)
 	}
 	return nil
+}
+
+// restoreCouplingState rehydrates one coupling from its checkpoint record.
+// Resumed simulations go to the front of the ready queue: they re-enter the
+// machine first, without a new setup. Interrupted setups re-run (their
+// selection already happened).
+func restoreCouplingState(cs *couplingState, c couplingCkpt) {
+	cs.ready = append([]dynim.Point(nil), c.RunningSims...)
+	cs.ready = append(cs.ready, c.Ready...)
+	cs.launched = c.Launched - len(c.RunningSims)
+	if cs.launched < 0 {
+		cs.launched = 0
+	}
+	cs.completed = c.Completed
+	cs.redoSetup = append(cs.redoSetup, c.InSetup...)
+}
+
+// RestoreCoupling rehydrates one already-registered coupling from a
+// per-coupling checkpoint document (CheckpointCoupling's output). Like
+// RestoreState it must precede Start; a fleet uses it to split a full
+// campaign checkpoint across the instances that own each coupling.
+func (w *Workflow) RestoreCoupling(data []byte) error {
+	var c couplingCkpt
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("core: corrupt coupling checkpoint: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		return errors.New("core: restore must precede Start")
+	}
+	cs := w.findCoupling(c.Name)
+	if cs == nil {
+		return fmt.Errorf("core: checkpoint has unknown coupling %q", c.Name)
+	}
+	restoreCouplingState(cs, c)
+	return nil
+}
+
+// AdoptCoupling registers a new coupling on a live workflow and rehydrates
+// it from ckpt (nil adopts empty state) — the takeover path of the
+// distributed WM fleet: a surviving instance that wins an expired lease
+// adopts the orphaned coupling and resumes its in-flight work. If the
+// workflow is already started the coupling's feedback ticker is armed and
+// an immediate poll re-engages its resources. The returned stats are the
+// post-restore snapshot the caller's conservation assert checks against the
+// pre-crash state.
+func (w *Workflow) AdoptCoupling(spec CouplingSpec, ckpt []byte) (CouplingStats, error) {
+	if err := spec.validate(); err != nil {
+		return CouplingStats{}, err
+	}
+	var c couplingCkpt
+	if ckpt != nil {
+		if err := json.Unmarshal(ckpt, &c); err != nil {
+			return CouplingStats{}, fmt.Errorf("core: corrupt coupling checkpoint: %w", err)
+		}
+		if c.Name != spec.Name {
+			return CouplingStats{}, fmt.Errorf("core: checkpoint is for coupling %q, adopting %q", c.Name, spec.Name)
+		}
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return CouplingStats{}, errors.New("core: workflow stopped")
+	}
+	if w.findCoupling(spec.Name) != nil {
+		w.mu.Unlock()
+		return CouplingStats{}, fmt.Errorf("core: duplicate coupling %q", spec.Name)
+	}
+	cs := &couplingState{spec: spec}
+	w.couplings = append(w.couplings, cs)
+	idx := len(w.couplings) - 1
+	if ckpt != nil {
+		restoreCouplingState(cs, c)
+	}
+	st := w.couplingStatsLocked(cs)
+	started := w.started
+	if started && spec.Feedback != nil {
+		w.fbTickers = append(w.fbTickers,
+			vclock.NewTicker(w.clk, spec.FeedbackEvery, func(time.Time) {
+				w.runFeedback(idx)
+			}))
+	}
+	w.mu.Unlock()
+	if started {
+		w.mu.Lock()
+		w.pollCoupling(idx)
+		w.mu.Unlock()
+	}
+	return st, nil
+}
+
+// LiveJobIDs returns the IDs of every job the manager is currently
+// tracking, in ascending order — the set a fleet crash handler kills when
+// this instance dies (static jobs are untracked and survive).
+func (w *Workflow) LiveJobIDs() []sched.JobID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sortedJobIDsLocked()
+}
+
+// SplitCheckpoint explodes a full WM checkpoint into standalone
+// per-coupling documents keyed by coupling name, each accepted by
+// RestoreCoupling and AdoptCoupling. A fleet uses it to hand every instance
+// exactly the couplings it owns.
+func SplitCheckpoint(data []byte) (map[string][]byte, error) {
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	out := make(map[string][]byte, len(ck.Couplings))
+	for _, c := range ck.Couplings {
+		b, err := json.Marshal(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Name] = b
+	}
+	return out, nil
+}
+
+// MergeCouplingCheckpoints assembles per-coupling checkpoint documents
+// (CheckpointCoupling's output) into a full WM checkpoint, in input order —
+// the inverse of SplitCheckpoint. A fleet uses it to publish one campaign
+// checkpoint spanning instances, in canonical coupling order.
+func MergeCouplingCheckpoints(parts [][]byte) ([]byte, error) {
+	var ck checkpoint
+	for i, part := range parts {
+		var c couplingCkpt
+		if err := json.Unmarshal(part, &c); err != nil {
+			return nil, fmt.Errorf("core: corrupt coupling checkpoint %d: %w", i, err)
+		}
+		ck.Couplings = append(ck.Couplings, c)
+	}
+	return json.Marshal(ck)
 }
 
 // InjectReady pushes prepared configurations straight into a coupling's

@@ -76,6 +76,10 @@ type Rule struct {
 	// Recovery is how long a NodeCrash keeps the node drained before the
 	// engine revives it (default 1h).
 	Recovery time.Duration `json:"recovery,omitempty"`
+	// Instance targets one WM instance of a distributed fleet (1-based).
+	// Zero picks a random live instance per injection; nonzero is only
+	// valid for WMCrash. Single-WM campaigns ignore it.
+	Instance int `json:"instance,omitempty"`
 }
 
 // timed reports whether the class fires on a schedule (vs. per store op).
@@ -118,6 +122,13 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: rule %d (%s): window end %v before start %v",
 				i, r.Class, r.End, r.Start)
 		}
+		if r.Instance < 0 {
+			return fmt.Errorf("faults: rule %d (%s): negative instance %d", i, r.Class, r.Instance)
+		}
+		if r.Instance > 0 && r.Class != WMCrash {
+			return fmt.Errorf("faults: rule %d (%s): instance targeting is only valid for %s",
+				i, r.Class, WMCrash)
+		}
 	}
 	return nil
 }
@@ -150,12 +161,13 @@ func ParsePlan(data []byte) (*Plan, error) {
 // ParseFlag interprets the -faults flag value: a path to a JSON plan file,
 // or an inline spec of the form
 //
-//	seed=7;store-transient-error:0.2;node-crash:4/day@2h..8h;wm-crash:1/day
+//	seed=7;store-transient-error:0.2;node-crash:4/day@2h..8h;wm-crash:1/day#2
 //
 // Entries are semicolon-separated. "seed=N" sets the seed; every other
 // entry is class:rate, where rate is a probability (store classes) or an
 // events-per-day count with an optional "/day" suffix (timed classes), with
-// an optional "@start..end" window of Go durations.
+// an optional "@start..end" window of Go durations. A "#N" suffix on the
+// rate pins a wm-crash rule to fleet instance N (1-based).
 func ParseFlag(s string) (*Plan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -195,17 +207,14 @@ func parseInline(s string) (*Plan, error) {
 			if r.Start, r.End, err = parseWindow(window); err != nil {
 				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
 			}
-			rate, err := parseRate(spec)
-			if err != nil {
+			if r.Rate, r.Instance, err = parseRateInstance(spec); err != nil {
 				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
 			}
-			r.Rate = rate
 		} else {
-			rate, err := parseRate(spec)
-			if err != nil {
+			var err error
+			if r.Rate, r.Instance, err = parseRateInstance(spec); err != nil {
 				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
 			}
-			r.Rate = rate
 		}
 		p.Rules = append(p.Rules, r)
 	}
@@ -218,6 +227,22 @@ func parseInline(s string) (*Plan, error) {
 func cutWindow(spec string) (rate, window string, ok bool) {
 	rate, window, ok = strings.Cut(spec, "@")
 	return strings.TrimSpace(rate), strings.TrimSpace(window), ok
+}
+
+// parseRateInstance splits an optional "#N" instance suffix off a rate
+// spec ("1/day#2" → rate 1, instance 2) and parses both halves.
+func parseRateInstance(s string) (float64, int, error) {
+	s = strings.TrimSpace(s)
+	instance := 0
+	if rate, inst, ok := strings.Cut(s, "#"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(inst))
+		if err != nil || n <= 0 {
+			return 0, 0, fmt.Errorf("bad instance %q (want a positive integer)", inst)
+		}
+		s, instance = rate, n
+	}
+	v, err := parseRate(s)
+	return v, instance, err
 }
 
 func parseRate(s string) (float64, error) {

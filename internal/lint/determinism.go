@@ -26,7 +26,9 @@ import (
 // function of the plan seed for chaos replays to be byte-identical, plus
 // the kv store (kvstore), whose wire command order and snapshot bytes must
 // be a pure function of the data — map iteration order must never reach
-// the wire (socket deadlines are the one annotated exception).
+// the wire (socket deadlines are the one annotated exception), plus the
+// distributed-WM fleet (wmfleet), whose lease acquisition, renewal, and
+// adoption schedule must replay byte-identically per campaign seed.
 // dynim, knn, and parallel import no module packages outside this set, so
 // whole-package analysis over-approximates "reachable from the
 // FarthestPoint rank/selection paths".
@@ -36,7 +38,7 @@ var Determinism = &Analyzer{
 	Scope: func(pkgPath string) bool {
 		for _, suffix := range []string{
 			"internal/dynim", "internal/knn", "internal/parallel", "internal/core",
-			"internal/faults", "internal/kvstore",
+			"internal/faults", "internal/kvstore", "internal/wmfleet",
 		} {
 			if strings.HasSuffix(pkgPath, suffix) {
 				return true

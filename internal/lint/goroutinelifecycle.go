@@ -15,6 +15,7 @@ func concScope(pkgPath string) bool {
 		"internal/core", "internal/sched", "internal/kvstore",
 		"internal/faults", "internal/retry", "internal/telemetry",
 		"internal/campaign", "internal/feedback", "internal/parallel",
+		"internal/wmfleet",
 	} {
 		if strings.HasSuffix(pkgPath, suffix) {
 			return true

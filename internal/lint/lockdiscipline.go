@@ -34,7 +34,8 @@ var LockDiscipline = &Analyzer{
 		return strings.HasSuffix(pkgPath, "internal/core") ||
 			strings.HasSuffix(pkgPath, "internal/sched") ||
 			strings.HasSuffix(pkgPath, "internal/faults") ||
-			strings.HasSuffix(pkgPath, "internal/kvstore")
+			strings.HasSuffix(pkgPath, "internal/kvstore") ||
+			strings.HasSuffix(pkgPath, "internal/wmfleet")
 	},
 	Run: runLockDiscipline,
 }

@@ -144,6 +144,29 @@ func Catalog() ([]*Trace, error) {
 		"every fault class at the CI chaos-smoke rates, including WM crash-restart with the conservation assert",
 		cfg)
 
+	// --- distributed-WM fleet axis -----------------------------------------
+	cfg = base(47, campaign.RunSpec{Nodes: 8, Wall: 6 * time.Hour, Count: 1})
+	cfg.WMInstances = 3
+	cfg.FeedbackEvery = 30 * time.Minute
+	cfg.Faults = &faults.Plan{Seed: 47, Rules: []faults.Rule{
+		{Class: faults.WMCrash, Rate: 8, Instance: 1},
+	}}
+	add("wm-fleet-adopt",
+		"three-instance WM fleet with instance 1 pinned as the crash victim: one clean crash-and-adopt cycle through the lease table",
+		cfg)
+
+	cfg = base(53, campaign.RunSpec{Nodes: 16, Wall: 6 * time.Hour, Count: 1})
+	cfg.WMInstances = 3
+	cfg.FeedbackEvery = 15 * time.Minute
+	cfg.Faults = &faults.Plan{Seed: 53, Rules: []faults.Rule{
+		{Class: faults.WMCrash, Rate: 8},
+		{Class: faults.StoreTransient, Rate: 0.2},
+		{Class: faults.NodeCrash, Rate: 12, Recovery: 30 * time.Minute},
+	}}
+	add("wm-fleet-chaos",
+		"three-instance WM fleet under random instance crashes, node loss, and a flaky store: lease renewal and adoption through the armor",
+		cfg)
+
 	out := make([]*Trace, 0, len(entries))
 	seen := map[string]bool{}
 	for _, e := range entries {

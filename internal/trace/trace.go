@@ -36,7 +36,12 @@ import (
 // Schema is the trace-format identifier embedded in every instance. The
 // compatibility rule is strict: a parser understands exactly one version,
 // and any change to the field set — even an addition — bumps it (see
-// docs/SCENARIOS.md, "Versioning").
+// docs/SCENARIOS.md, "Versioning"). One documented exception: the
+// distributed-WM fleet work extended v1 in place with the required
+// "coordination" section and the fault-rule "instance" field, and every
+// committed scenario was regenerated in the same change — pre-extension
+// v1 documents are rejected by Validate (missing coordination section)
+// rather than silently replayed with a different meaning.
 const Schema = "mummi-trace/v1"
 
 // schemaFamily prefixes every version of the format; Parse uses it to
@@ -152,6 +157,15 @@ type SchedulerSpec struct {
 	ModelStatusLoad bool `json:"model_status_load"`
 }
 
+// CoordinationSpec records the coordination-layer topology: how many
+// workflow-manager instances share the campaign.
+type CoordinationSpec struct {
+	// WMInstances is the workflow-manager fleet size (>= 1). At 1 the
+	// classic single-WM loop runs; above 1 the couplings are spread across
+	// a lease-coordinated fleet (internal/wmfleet).
+	WMInstances int `json:"wm_instances"`
+}
+
 // FaultRule enables one fault class (see internal/faults for semantics).
 type FaultRule struct {
 	// Class is the fault class name (one of faults.Classes).
@@ -159,6 +173,9 @@ type FaultRule struct {
 	// Rate is a per-operation probability (store classes) or expected
 	// events per day (timed classes).
 	Rate float64 `json:"rate"`
+	// Instance pins a wm-crash rule to one WM instance (1-based); zero
+	// picks a random live instance per injection.
+	Instance int `json:"instance,omitempty"`
 	// Start/End bound the injection window; zero End leaves it open.
 	Start Span `json:"start,omitempty"`
 	// End closes the injection window.
@@ -199,6 +216,8 @@ type Trace struct {
 	Selection SelectionSpec `json:"selection"`
 	// Scheduler records the scheduler configuration.
 	Scheduler SchedulerSpec `json:"scheduler"`
+	// Coordination records the WM fleet size.
+	Coordination CoordinationSpec `json:"coordination"`
 	// FaultPlan, when present, runs the campaign as a chaos replay.
 	FaultPlan *FaultSpec `json:"fault_plan,omitempty"`
 }
@@ -250,6 +269,7 @@ func FromConfig(name, description string, cfg campaign.Config) (*Trace, error) {
 			VertexVisitCost: Span(cfg.SchedCosts.VertexVisit),
 			ModelStatusLoad: cfg.ModelStatusLoad,
 		},
+		Coordination: CoordinationSpec{WMInstances: cfg.WMInstances},
 	}
 	for _, r := range cfg.Runs {
 		t.Topology = append(t.Topology, RunShape{Nodes: r.Nodes, Wall: Span(r.Wall), Count: r.Count})
@@ -258,7 +278,7 @@ func FromConfig(name, description string, cfg campaign.Config) (*Trace, error) {
 		fp := &FaultSpec{Seed: cfg.Faults.Seed}
 		for _, r := range cfg.Faults.Rules {
 			fp.Rules = append(fp.Rules, FaultRule{
-				Class: string(r.Class), Rate: r.Rate,
+				Class: string(r.Class), Rate: r.Rate, Instance: r.Instance,
 				Start: Span(r.Start), End: Span(r.End),
 				Latency: Span(r.Latency), Recovery: Span(r.Recovery),
 			})
@@ -305,6 +325,7 @@ func (t *Trace) Config() (campaign.Config, error) {
 			VertexVisit: time.Duration(t.Scheduler.VertexVisitCost),
 		},
 		ModelStatusLoad: t.Scheduler.ModelStatusLoad,
+		WMInstances:     t.Coordination.WMInstances,
 	}
 	for _, r := range t.Topology {
 		cfg.Runs = append(cfg.Runs, campaign.RunSpec{
@@ -327,7 +348,7 @@ func (t *Trace) Config() (campaign.Config, error) {
 		plan := &faults.Plan{Seed: t.FaultPlan.Seed}
 		for _, r := range t.FaultPlan.Rules {
 			plan.Rules = append(plan.Rules, faults.Rule{
-				Class: faults.Class(r.Class), Rate: r.Rate,
+				Class: faults.Class(r.Class), Rate: r.Rate, Instance: r.Instance,
 				Start: time.Duration(r.Start), End: time.Duration(r.End),
 				Latency: time.Duration(r.Latency), Recovery: time.Duration(r.Recovery),
 			})
@@ -420,11 +441,15 @@ func (t *Trace) Validate() error {
 	if sc.SubmitMsgCost == 0 && sc.StatusMsgCost == 0 && sc.VertexVisitCost == 0 {
 		return fmt.Errorf("trace %s: all scheduler costs zero (campaign would re-default them)", t.Name)
 	}
+	if t.Coordination.WMInstances < 1 {
+		return fmt.Errorf("trace %s: wm_instances %d < 1 (a trace records effective values; pre-extension v1 documents must be regenerated)",
+			t.Name, t.Coordination.WMInstances)
+	}
 	if t.FaultPlan != nil {
 		plan := faults.Plan{Seed: t.FaultPlan.Seed}
 		for _, r := range t.FaultPlan.Rules {
 			plan.Rules = append(plan.Rules, faults.Rule{
-				Class: faults.Class(r.Class), Rate: r.Rate,
+				Class: faults.Class(r.Class), Rate: r.Rate, Instance: r.Instance,
 				Start: time.Duration(r.Start), End: time.Duration(r.End),
 				Latency: time.Duration(r.Latency), Recovery: time.Duration(r.Recovery),
 			})

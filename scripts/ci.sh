@@ -68,12 +68,23 @@ grep -q 'wm restarts' "$tmpdir/chaos1.out"
 # regression threshold (see docs/SCENARIOS.md).
 go run ./scripts/matrix
 
-# Matrix determinism smoke: replay three fast scenarios twice with timing
+# Matrix determinism smoke: replay four fast scenarios twice with timing
 # metrics omitted; the fresh ledger directories must be byte-identical.
-fast='laptop-smoke,mini-mummi-two-scale,chaos-store-flaky'
+# wm-fleet-chaos is in the set so the distributed-WM crash/adoption
+# schedule is held to the same same-seed byte-identity bar as the rest.
+fast='laptop-smoke,mini-mummi-two-scale,chaos-store-flaky,wm-fleet-chaos'
 go run ./scripts/matrix -only "$fast" -outdir "$tmpdir/matrix1" -no-timing
 go run ./scripts/matrix -only "$fast" -outdir "$tmpdir/matrix2" -no-timing
 diff -r "$tmpdir/matrix1" "$tmpdir/matrix2"
+
+# Generated-sweep gate: the committed scenarios/generated/ sweep is one
+# fixed Gen(seed=42, n=3) instance set. Regenerate it from scratch and
+# byte-diff against the committed trace files (Gen must stay deterministic
+# and schema-stable), then replay the sweep against its committed ledgers
+# like any other scenario directory.
+go run ./cmd/mummi-sim trace gen -seed 42 -n 3 -outdir "$tmpdir/gen"
+diff -r -x 'BENCH_*' "$tmpdir/gen" scenarios/generated
+go run ./scripts/matrix -scenarios scenarios/generated
 
 # Trace round-trip smoke: export a campaign as a workflow instance, import
 # and canonically re-export it, and require byte identity end to end

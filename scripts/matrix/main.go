@@ -195,5 +195,15 @@ func replay(t *trace.Trace, noTiming bool) (*benchfmt.Report, time.Duration, err
 			"store_put_errors": float64(res.StorePutErrors),
 		})
 	}
+	// Distributed-WM ledger, only for fleet scenarios so the committed
+	// single-WM ledgers keep their exact historical key set.
+	if cfg.WMInstances > 1 {
+		rep.Record("fleet", map[string]float64{
+			"wm_instances":      float64(cfg.WMInstances),
+			"wm_crashes":        float64(res.WMCrashes),
+			"wm_adoptions":      float64(res.WMAdoptions),
+			"lease_expirations": float64(res.LeaseExpirations),
+		})
+	}
 	return rep, wall, nil
 }
